@@ -1,0 +1,95 @@
+package rangeagg
+
+import (
+	"errors"
+	"time"
+
+	"rangeagg/internal/advisor"
+	"rangeagg/internal/sse"
+)
+
+// Recommendation is one evaluated candidate from Recommend.
+type Recommendation struct {
+	// Method is the construction's paper name.
+	Method Method
+	// SSE over the evaluation workload (all ranges when none given).
+	SSE float64
+	// RMS is the per-query root-mean-square error.
+	RMS float64
+	// StorageWords actually used.
+	StorageWords int
+	// BuildTime is the measured construction cost.
+	BuildTime time.Duration
+	// Failed reports that the candidate could not be built (it sorts
+	// last); Reason carries the error text.
+	Failed bool
+	Reason string
+}
+
+// Recommend builds every applicable synopsis method at the budget,
+// measures each on the workload (or on the paper's all-ranges metric when
+// queries is nil), and returns them ranked best-first — a physical-design
+// advisor for picking the synopsis your data and workload deserve. The
+// exact OPT-A family is skipped automatically on domains larger than 512
+// values.
+func Recommend(counts []int64, queries []Range, budgetWords int, seed int64) ([]Recommendation, error) {
+	qs := make([]sse.Range, len(queries))
+	for i, q := range queries {
+		qs[i] = sse.Range{A: q.A, B: q.B}
+	}
+	cands, err := advisor.Recommend(counts, qs, advisor.Config{
+		BudgetWords: budgetWords, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Recommendation, len(cands))
+	for i, c := range cands {
+		out[i] = Recommendation{
+			Method:       Method(c.Method),
+			SSE:          c.SSE,
+			RMS:          c.RMS,
+			StorageWords: c.StorageWords,
+			BuildTime:    c.BuildTime,
+		}
+		if c.Err != nil {
+			out[i].Failed = true
+			out[i].Reason = c.Err.Error()
+		}
+	}
+	return out, nil
+}
+
+// RecommendSynopsis runs Recommend and registers the winning method in
+// the engine under the given name, returning the winner.
+func (e *Engine) RecommendSynopsis(name string, metric Metric, queries []Range, budgetWords int) (Recommendation, error) {
+	counts := e.Counts()
+	if metric == Sum {
+		for v := range counts {
+			counts[v] *= int64(v)
+		}
+	}
+	recs, err := Recommend(counts, queries, budgetWords, 1)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	var winner *Recommendation
+	for i := range recs {
+		if !recs[i].Failed {
+			winner = &recs[i]
+			break
+		}
+	}
+	if winner == nil {
+		return Recommendation{}, errNoCandidate
+	}
+	if err := e.BuildSynopsis(name, metric, Options{
+		Method: winner.Method, BudgetWords: budgetWords, Seed: 1,
+	}); err != nil {
+		return Recommendation{}, err
+	}
+	return *winner, nil
+}
+
+// errNoCandidate is returned when every advisor candidate failed.
+var errNoCandidate = errors.New("rangeagg: no synopsis candidate built successfully")

@@ -1,0 +1,252 @@
+package rangeagg
+
+// The benchmark harness: one benchmark per experiment table/figure of
+// DESIGN.md §6 (regenerating the table body each iteration), plus
+// construction-cost and query-latency ablations (E8). Run with
+//
+//	go test -bench=. -benchmem
+//
+// cmd/synbench prints the same tables with their values for inspection.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"rangeagg/internal/core"
+	"rangeagg/internal/dataset"
+	"rangeagg/internal/experiments"
+	"rangeagg/internal/prefix"
+)
+
+// benchCfg keeps per-iteration work bounded: the paper's dataset with two
+// representative budgets.
+func benchCfg(b *testing.B) experiments.Config {
+	b.Helper()
+	d, err := dataset.Zipf(dataset.DefaultPaper())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return experiments.Config{Data: d, Budgets: []int{16, 32}, Seed: 1}
+}
+
+func benchTable(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	cfg := benchCfg(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1Fig1 regenerates Figure 1 (all nine series).
+func BenchmarkE1Fig1(b *testing.B) { benchTable(b, experiments.Fig1) }
+
+// BenchmarkE2PointOptRatio regenerates the POINT-OPT/OPT-A ratio table.
+func BenchmarkE2PointOptRatio(b *testing.B) { benchTable(b, experiments.PointOptRatio) }
+
+// BenchmarkE3Sap1Ratio regenerates the SAP1/OPT-A ratio table.
+func BenchmarkE3Sap1Ratio(b *testing.B) { benchTable(b, experiments.Sap1Ratio) }
+
+// BenchmarkE4Sap0Rank regenerates the SAP0 ranking table.
+func BenchmarkE4Sap0Rank(b *testing.B) { benchTable(b, experiments.Sap0Rank) }
+
+// BenchmarkE5Reopt regenerates the A-reopt improvement table.
+func BenchmarkE5Reopt(b *testing.B) { benchTable(b, experiments.ReoptGain) }
+
+// BenchmarkE6Wavelet regenerates the wavelet comparison table.
+func BenchmarkE6Wavelet(b *testing.B) { benchTable(b, experiments.WaveletStudy) }
+
+// BenchmarkE7Rounded regenerates the OPT-A-ROUNDED sweep.
+func BenchmarkE7Rounded(b *testing.B) {
+	cfg := benchCfg(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RoundedSweep(cfg, 16, []int64{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConstruct measures per-method construction cost on the paper's
+// dataset at 32 words (E8a).
+func BenchmarkConstruct(b *testing.B) {
+	counts := PaperCounts()
+	for _, m := range Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(counts, Options{Method: m, BudgetWords: 32, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConstructScaling measures how the polynomial constructions
+// scale with the domain size (E8b). OPT-A is excluded here — its
+// pseudo-polynomial cost is studied separately in E7/BenchmarkOptAExact.
+func BenchmarkConstructScaling(b *testing.B) {
+	for _, n := range []int{128, 256, 512, 1024} {
+		counts, err := ZipfCounts(n, 1.8, 1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range []Method{A0, SAP0, SAP1, PointOpt, WaveRangeOpt} {
+			b.Run(fmt.Sprintf("%s/n=%d", m, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Build(counts, Options{Method: m, BudgetWords: 32, Seed: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOptAExact measures the exact pseudo-polynomial DP on the
+// paper's dataset across bucket budgets (E8c).
+func BenchmarkOptAExact(b *testing.B) {
+	counts := PaperCounts()
+	for _, words := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(counts, Options{Method: OptA, BudgetWords: words, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQuery measures per-query answering latency of each synopsis
+// type (E8d).
+func BenchmarkQuery(b *testing.B) {
+	counts := PaperCounts()
+	n := len(counts)
+	queries := RandomRanges(n, 1024, 7)
+	for _, m := range []Method{A0, SAP0, SAP1, WaveTopBB, WaveRangeOpt, WaveAA2D} {
+		syn, err := Build(counts, Options{Method: m, BudgetWords: 32, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				sink += syn.Estimate(q.A, q.B)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkSSEEvaluation compares the O(n) prefix-identity SSE evaluator
+// against the O(n²) definition (E8e) — the evaluation substrate itself.
+func BenchmarkSSEEvaluation(b *testing.B) {
+	counts := PaperCounts()
+	syn, err := Build(counts, Options{Method: A0, BudgetWords: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = SSE(counts, syn)
+		}
+	})
+	b.Run("workload-4k", func(b *testing.B) {
+		qs := RandomRanges(len(counts), 4096, 3)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Evaluate(counts, syn, qs)
+		}
+	})
+}
+
+// BenchmarkE10TwoDim regenerates the 2-D extension table.
+func BenchmarkE10TwoDim(b *testing.B) {
+	cfg := benchCfg(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TwoDim(cfg, 16, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9PrefixStudy regenerates the restricted-class comparison.
+func BenchmarkE9PrefixStudy(b *testing.B) { benchTable(b, experiments.PrefixStudy) }
+
+// BenchmarkQuery2D measures rectangle-query latency of the 2-D synopses.
+func BenchmarkQuery2D(b *testing.B) {
+	counts := make([][]int64, 64)
+	for r := range counts {
+		counts[r] = make([]int64, 64)
+		for c := range counts[r] {
+			counts[r][c] = int64((r*c)%17 + 1)
+		}
+	}
+	queries := RandomRects(64, 64, 1024, 3)
+	for _, m := range Methods2D() {
+		syn, err := Build2D(counts, m, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += syn.Estimate(queries[i%len(queries)])
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkE11Heuristics regenerates the heuristic-improvement study.
+func BenchmarkE11Heuristics(b *testing.B) { benchTable(b, experiments.HeuristicStudy) }
+
+// BenchmarkWarmupVsImproved contrasts the paper's §2.1.1 warm-up DP with
+// the §2.1.2 improved DP on a small instance (E8f): same optimum, far
+// fewer states for the improved algorithm.
+func BenchmarkWarmupVsImproved(b *testing.B) {
+	counts, err := ZipfCounts(24, 1.8, 200, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := prefix.NewTable(counts)
+	b.Run("warmup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.OptAWarmup(tab, 4, core.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("improved", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.OptA(tab, 4, core.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+// Command synbench regenerates the paper's evaluation: Figure 1 and every
+// quantified in-text claim, plus this repository's ablations. See
+// DESIGN.md §6 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+//
+// Usage:
+//
+//	synbench                      # the full suite on the paper's dataset
+//	synbench -exp fig1            # one experiment
+//	synbench -exp rounded -budget 16
+//	synbench -in data.csv         # a custom dataset
+//	synbench -n 255 -alpha 1.2    # a custom Zipf dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rangeagg/internal/dataset"
+	"rangeagg/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, fig1, pointopt, sap1, sap0, reopt, wavelet, rounded, prefixopt, 2d, heuristics")
+		in      = flag.String("in", "", "dataset CSV (default: the paper's 127-key Zipf)")
+		n       = flag.Int("n", 0, "generate a Zipf dataset of this size instead")
+		alpha   = flag.Float64("alpha", 1.8, "zipf tail exponent for -n")
+		maxC    = flag.Float64("max", 1000, "zipf head frequency for -n")
+		seed    = flag.Int64("seed", 1, "random seed")
+		budgets = flag.String("budgets", "", "comma-separated storage budgets in words")
+		budget  = flag.Int("budget", 16, "budget for the rounded sweep")
+		states  = flag.Int("maxstates", 0, "exact OPT-A state budget (0 = default)")
+		plot    = flag.Bool("plot", false, "render fig1 as an ASCII log plot too")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, MaxStates: *states}
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Data = d
+	case *n > 0:
+		d, err := dataset.Zipf(dataset.ZipfConfig{N: *n, Alpha: *alpha, MaxCount: *maxC, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Data = d
+	}
+	if *budgets != "" {
+		for _, part := range strings.Split(*budgets, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad budget %q: %v", part, err))
+			}
+			cfg.Budgets = append(cfg.Budgets, w)
+		}
+	}
+
+	run := func(t *experiments.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *plot && *exp != "fig1" {
+		fmt.Fprintln(os.Stderr, "synbench: -plot applies to -exp fig1 only")
+	}
+	switch *exp {
+	case "all":
+		tabs, err := experiments.All(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tabs {
+			if _, err := t.WriteTo(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	case "fig1":
+		t, err := experiments.Fig1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *plot {
+			fmt.Println()
+			fmt.Print(experiments.PlotLog(t, 16))
+		}
+	case "pointopt":
+		run(experiments.PointOptRatio(cfg))
+	case "sap1":
+		run(experiments.Sap1Ratio(cfg))
+	case "sap0":
+		run(experiments.Sap0Rank(cfg))
+	case "reopt":
+		run(experiments.ReoptGain(cfg))
+	case "wavelet":
+		run(experiments.WaveletStudy(cfg))
+	case "rounded":
+		run(experiments.RoundedSweep(cfg, *budget, nil))
+	case "prefixopt":
+		run(experiments.PrefixStudy(cfg))
+	case "2d":
+		run(experiments.TwoDim(cfg, 0, 0))
+	case "heuristics":
+		run(experiments.HeuristicStudy(cfg))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "synbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command synbuild constructs a synopsis from an attribute-value
+// distribution and serializes it.
+//
+// Usage:
+//
+//	synbuild -in data.csv -method OPT-A -budget 32 -o synopsis.json
+//	synbuild -in data.csv -method A0 -budget 16 -reopt
+//
+// Methods: NAIVE, EQUI-WIDTH, EQUI-DEPTH, MAXDIFF, V-OPT, POINT-OPT, A0,
+// SAP0, SAP1, OPT-A, OPT-A-ROUNDED, TOPBB, WAVE-RANGEOPT, WAVE-AA2D
+// (WAVE-AA2D is build-and-query only; it has no serialized form).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rangeagg"
+	"rangeagg/internal/dataset"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "-", "input distribution (CSV; - for stdin)")
+		raw    = flag.Bool("raw", false, "input is raw values, one per line, instead of an index,count CSV")
+		method = flag.String("method", "OPT-A", "construction method (paper name)")
+		budget = flag.Int("budget", 32, "storage budget in words")
+		doRe   = flag.Bool("reopt", false, "apply the §5 value re-optimization")
+		seed   = flag.Int64("seed", 1, "random seed")
+		eps    = flag.Float64("epsilon", 0, "OPT-A-ROUNDED quality target")
+		x      = flag.Int64("x", 0, "OPT-A-ROUNDED rounding parameter (overrides epsilon)")
+		out    = flag.String("o", "-", "output synopsis file (- for stdout)")
+		report = flag.Bool("sse", true, "print the SSE over all ranges to stderr")
+	)
+	flag.Parse()
+
+	d, err := readDistribution(*in, *raw)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := rangeagg.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	syn, err := rangeagg.Build(d.Counts, rangeagg.Options{
+		Method: m, BudgetWords: *budget, Reopt: *doRe,
+		Seed: *seed, Epsilon: *eps, RoundedX: *x,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rangeagg.WriteSynopsis(w, syn); err != nil {
+		fatal(err)
+	}
+	if *report {
+		fmt.Fprintf(os.Stderr, "built %s: %d words, SSE over all ranges = %.6g\n",
+			syn.Name(), syn.StorageWords(), rangeagg.SSE(d.Counts, syn))
+	}
+}
+
+func readDistribution(path string, raw bool) (*dataset.Distribution, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if raw {
+		d, offset, err := dataset.ReadValues(path, r)
+		if err != nil {
+			return nil, err
+		}
+		if offset != 0 {
+			fmt.Fprintf(os.Stderr, "note: values shifted by %d (domain starts at that raw value)\n", offset)
+		}
+		return d, nil
+	}
+	return dataset.ReadCSV(r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "synbuild:", err)
+	os.Exit(1)
+}

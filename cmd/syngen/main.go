@@ -1,0 +1,116 @@
+// Command syngen generates synthetic attribute-value distributions for the
+// synopsis experiments, including the paper's dataset (randomly rounded
+// Zipf floats).
+//
+// Usage:
+//
+//	syngen -type zipf -n 127 -alpha 1.8 -max 1000 -seed 1 -o data.csv
+//	syngen -type paper                  # the exact Figure-1 dataset
+//	syngen -type selfsimilar -n 256 -total 100000 -h 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rangeagg/internal/dataset"
+)
+
+func main() {
+	var (
+		typ    = flag.String("type", "paper", "distribution: paper, zipf, uniform, gauss, multimodal, cusp, selfsimilar, spikes")
+		n      = flag.Int("n", 127, "domain size")
+		alpha  = flag.Float64("alpha", 1.8, "zipf tail exponent")
+		maxC   = flag.Float64("max", 1000, "head frequency (zipf) / peak (gauss, multimodal, cusp)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		perm   = flag.Bool("permute", false, "shuffle zipf frequencies across the domain")
+		lo     = flag.Int64("lo", 0, "uniform: lower bound")
+		hi     = flag.Int64("hi", 100, "uniform: upper bound")
+		sigma  = flag.Float64("sigma", 0.15, "gauss: width as a fraction of n")
+		k      = flag.Int("k", 4, "multimodal: modes / spikes: spike count")
+		noise  = flag.Float64("noise", 0.2, "cusp: multiplicative noise")
+		total  = flag.Int64("total", 100000, "selfsimilar: total mass")
+		hbias  = flag.Float64("h", 0.8, "selfsimilar: first-half bias in (0,1)")
+		height = flag.Int64("height", 1000, "spikes: spike height")
+		out    = flag.String("o", "-", "output file (- for stdout)")
+		format = flag.String("format", "csv", "output format: csv or json")
+	)
+	flag.Parse()
+
+	d, err := generate(*typ, genParams{
+		n: *n, alpha: *alpha, maxC: *maxC, seed: *seed, permute: *perm,
+		lo: *lo, hi: *hi, sigma: *sigma, k: *k, noise: *noise,
+		total: *total, h: *hbias, height: *height,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = d.WriteCSV(w)
+	case "json":
+		err = d.WriteJSON(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", d)
+}
+
+type genParams struct {
+	n           int
+	alpha, maxC float64
+	seed        int64
+	permute     bool
+	lo, hi      int64
+	sigma       float64
+	k           int
+	noise       float64
+	total       int64
+	h           float64
+	height      int64
+}
+
+func generate(typ string, p genParams) (*dataset.Distribution, error) {
+	switch typ {
+	case "paper":
+		return dataset.Zipf(dataset.DefaultPaper())
+	case "zipf":
+		return dataset.Zipf(dataset.ZipfConfig{
+			N: p.n, Alpha: p.alpha, MaxCount: p.maxC, Permute: p.permute, Seed: p.seed,
+		})
+	case "uniform":
+		return dataset.Uniform(p.n, p.lo, p.hi, p.seed)
+	case "gauss":
+		return dataset.Gauss(p.n, p.maxC, p.sigma, p.seed)
+	case "multimodal":
+		return dataset.MultiModal(p.n, p.k, p.maxC, p.seed)
+	case "cusp":
+		return dataset.Cusp(p.n, p.maxC, p.noise, p.seed)
+	case "selfsimilar":
+		return dataset.SelfSimilar(p.n, p.total, p.h, p.seed)
+	case "spikes":
+		return dataset.Spikes(p.n, p.k, p.height, p.seed)
+	default:
+		return nil, fmt.Errorf("unknown distribution type %q", typ)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "syngen:", err)
+	os.Exit(1)
+}

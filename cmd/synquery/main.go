@@ -1,0 +1,128 @@
+// Command synquery answers range-sum queries from a serialized synopsis,
+// optionally comparing against the exact answers from the original data.
+//
+// Usage:
+//
+//	synquery -syn synopsis.json -q 3:40 -q 0:126
+//	synquery -syn synopsis.json -data data.csv -q 3:40      # with exact
+//	synquery -syn synopsis.json -data data.csv -random 100  # workload report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rangeagg"
+	"rangeagg/internal/dataset"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return strings.Join(*q, ",") }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var queries queryList
+	var (
+		synPath  = flag.String("syn", "", "serialized synopsis (required)")
+		dataPath = flag.String("data", "", "original distribution CSV for exact comparison (optional)")
+		random   = flag.Int("random", 0, "evaluate a random workload of this size (requires -data)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Var(&queries, "q", "query range a:b (repeatable)")
+	flag.Parse()
+
+	if *synPath == "" {
+		fatal(fmt.Errorf("-syn is required"))
+	}
+	f, err := os.Open(*synPath)
+	if err != nil {
+		fatal(err)
+	}
+	syn, err := rangeagg.ReadSynopsis(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var counts []int64
+	if *dataPath != "" {
+		df, err := os.Open(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := dataset.ReadCSV(df)
+		df.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if d.N() != syn.N() {
+			fatal(fmt.Errorf("data has %d values but synopsis covers %d", d.N(), syn.N()))
+		}
+		counts = d.Counts
+	}
+
+	fmt.Printf("synopsis %s: n=%d, %d words\n", syn.Name(), syn.N(), syn.StorageWords())
+	for _, qs := range queries {
+		a, b, err := parseRange(qs, syn.N())
+		if err != nil {
+			fatal(err)
+		}
+		est := syn.Estimate(a, b)
+		if counts != nil {
+			var exact int64
+			for i := a; i <= b; i++ {
+				exact += counts[i]
+			}
+			fmt.Printf("  s[%d,%d] ≈ %.2f   exact %d   abs.err %.2f\n",
+				a, b, est, exact, abs(est-float64(exact)))
+		} else {
+			fmt.Printf("  s[%d,%d] ≈ %.2f\n", a, b, est)
+		}
+	}
+
+	if *random > 0 {
+		if counts == nil {
+			fatal(fmt.Errorf("-random requires -data"))
+		}
+		qs := rangeagg.RandomRanges(syn.N(), *random, *seed)
+		m := rangeagg.Evaluate(counts, syn, qs)
+		fmt.Printf("workload of %d random ranges: RMS %.3f  MAE %.3f  max-abs %.3f  mean-rel %.4f\n",
+			m.Queries, m.RMS, m.MAE, m.MaxAbs, m.MeanRel)
+		fmt.Printf("SSE over all ranges: %.6g\n", rangeagg.SSE(counts, syn))
+	}
+}
+
+func parseRange(s string, n int) (int, int, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("query %q: want a:b", s)
+	}
+	a, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("query %q: %v", s, err)
+	}
+	b, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("query %q: %v", s, err)
+	}
+	if a < 0 || b >= n || a > b {
+		return 0, 0, fmt.Errorf("query %q outside domain [0,%d)", s, n)
+	}
+	return a, b, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "synquery:", err)
+	os.Exit(1)
+}

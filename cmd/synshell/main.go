@@ -1,0 +1,51 @@
+// Command synshell is an interactive shell over the approximate-query
+// engine: load or generate a distribution, build synopses, and compare
+// exact with approximate range aggregates. Run a script by piping it in:
+//
+//	echo 'gen zipf 127 1.8 1000 1
+//	build h count OPT-A 32
+//	approx h 0 126
+//	count 0 126' | synshell
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"rangeagg/internal/shell"
+)
+
+func main() {
+	sh := shell.New(os.Stdout)
+	in := bufio.NewScanner(os.Stdin)
+	interactive := false
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		interactive = true
+	}
+	if interactive {
+		fmt.Println("rangeagg shell — type help")
+	}
+	for {
+		if interactive {
+			fmt.Print("> ")
+		}
+		if !in.Scan() {
+			break
+		}
+		quit, err := sh.Exec(in.Text())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			if !interactive {
+				os.Exit(1)
+			}
+		}
+		if quit {
+			break
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "synshell:", err)
+		os.Exit(1)
+	}
+}

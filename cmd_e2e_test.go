@@ -1,0 +1,76 @@
+package rangeagg_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd executes one of this repository's commands via the Go toolchain.
+func runCmd(t *testing.T, stdin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run %v: %v\nstderr: %s", args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// TestCLIEndToEnd drives the full pipeline: generate → build → query →
+// shell, through the real binaries.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	syn := filepath.Join(dir, "syn.json")
+
+	_, genErr := runCmd(t, "", "./cmd/syngen", "-type", "zipf", "-n", "63", "-alpha", "1.6", "-max", "500", "-seed", "3", "-o", data)
+	if !strings.Contains(genErr, "wrote zipf") {
+		t.Fatalf("syngen stderr: %s", genErr)
+	}
+	if _, err := os.Stat(data); err != nil {
+		t.Fatal(err)
+	}
+
+	_, buildErr := runCmd(t, "", "./cmd/synbuild", "-in", data, "-method", "SAP1", "-budget", "20", "-o", syn)
+	if !strings.Contains(buildErr, "built SAP1") {
+		t.Fatalf("synbuild stderr: %s", buildErr)
+	}
+
+	queryOut, _ := runCmd(t, "", "./cmd/synquery", "-syn", syn, "-data", data, "-q", "0:62", "-random", "25")
+	for _, want := range []string{"synopsis SAP1", "s[0,62]", "workload of 25 random ranges", "SSE over all ranges"} {
+		if !strings.Contains(queryOut, want) {
+			t.Errorf("synquery output missing %q:\n%s", want, queryOut)
+		}
+	}
+
+	shellOut, _ := runCmd(t, "load "+data+"\nbuild h count A0 12\napprox h 0 62\ncount 0 62\nquit\n", "./cmd/synshell")
+	if !strings.Contains(shellOut, "built h: COUNT A0") {
+		t.Errorf("synshell output:\n%s", shellOut)
+	}
+}
+
+// TestCLIBenchSingleExperiment smoke-tests synbench on a small dataset.
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out, _ := runCmd(t, "", "./cmd/synbench", "-exp", "sap0", "-n", "31", "-budgets", "8,16")
+	for _, want := range []string{"== E4", "SAP0", "OPT-A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("synbench output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package rangeagg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rangeagg/internal/grid"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/wavelet"
+)
+
+// envelope wraps a serialized synopsis with its family so ReadSynopsis can
+// dispatch.
+type envelope struct {
+	Family  string          `json:"family"` // "histogram" or "wavelet"
+	Payload json.RawMessage `json:"payload"`
+}
+
+// WriteSynopsis serializes any synopsis built by this package as JSON.
+func WriteSynopsis(w io.Writer, s Synopsis) error {
+	var payload bytes.Buffer
+	var family string
+	switch v := s.(type) {
+	case *histogram.Avg, *histogram.SAP0, *histogram.SAP1, *histogram.SAP2:
+		family = "histogram"
+		if err := histogram.WriteJSON(&payload, v.(histogram.Estimator)); err != nil {
+			return err
+		}
+	case *wavelet.DataSynopsis, *wavelet.PrefixSynopsis, *wavelet.AA2D:
+		family = "wavelet"
+		if err := wavelet.WriteJSON(&payload, v); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("rangeagg: synopsis type %T is not serializable", s)
+	}
+	return json.NewEncoder(w).Encode(envelope{Family: family, Payload: payload.Bytes()})
+}
+
+// ReadSynopsis deserializes a synopsis written by WriteSynopsis.
+func ReadSynopsis(r io.Reader) (Synopsis, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("rangeagg: decoding synopsis envelope: %w", err)
+	}
+	switch env.Family {
+	case "histogram":
+		est, err := histogram.ReadJSON(bytes.NewReader(env.Payload))
+		if err != nil {
+			return nil, err
+		}
+		return est, nil
+	case "wavelet":
+		v, err := wavelet.ReadJSON(bytes.NewReader(env.Payload))
+		if err != nil {
+			return nil, err
+		}
+		s, ok := v.(Synopsis)
+		if !ok {
+			return nil, fmt.Errorf("rangeagg: decoded wavelet %T is not a synopsis", v)
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("rangeagg: unknown synopsis family %q", env.Family)
+	}
+}
+
+// WriteSynopsis2D serializes a 2-D synopsis built by Build2D as JSON.
+// AVI synopses are not serializable (they compose two marginal synopses);
+// rebuild them from data instead.
+func WriteSynopsis2D(w io.Writer, s Synopsis2D) error {
+	v, ok := s.(wrap2D)
+	if !ok {
+		return fmt.Errorf("rangeagg: foreign Synopsis2D implementation %T", s)
+	}
+	return grid.WriteJSON(w, v.inner)
+}
+
+// ReadSynopsis2D deserializes a 2-D synopsis written by WriteSynopsis2D.
+func ReadSynopsis2D(r io.Reader) (Synopsis2D, error) {
+	inner, err := grid.ReadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	return wrap2D{inner: inner}, nil
+}

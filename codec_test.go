@@ -1,0 +1,61 @@
+package rangeagg
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSynopsisCodecRoundTrip(t *testing.T) {
+	counts, _ := ZipfCounts(25, 1.8, 400, 5)
+	for _, m := range []Method{Naive, EquiWidth, A0, SAP0, SAP1, PointOpt, WaveTopBB, WaveRangeOpt, WaveAA2D, PrefixOpt, SAP2} {
+		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSynopsis(&buf, syn); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		back, err := ReadSynopsis(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if back.Name() != syn.Name() || back.N() != syn.N() {
+			t.Fatalf("%s: metadata mismatch %s/%d vs %s/%d", m, back.Name(), back.N(), syn.Name(), syn.N())
+		}
+		for _, q := range AllRanges(25) {
+			if g, w := back.Estimate(q.A, q.B), syn.Estimate(q.A, q.B); math.Abs(g-w) > 1e-9*(1+math.Abs(w)) {
+				t.Fatalf("%s: Estimate(%d,%d) = %g, want %g", m, q.A, q.B, g, w)
+			}
+		}
+	}
+}
+
+func TestSynopsisCodecRejectsForeign(t *testing.T) {
+	if err := WriteSynopsis(&bytes.Buffer{}, fakeSynopsis{}); err == nil {
+		t.Error("foreign synopsis type accepted")
+	}
+}
+
+type fakeSynopsis struct{}
+
+func (fakeSynopsis) Estimate(a, b int) float64 { return 0 }
+func (fakeSynopsis) N() int                    { return 1 }
+func (fakeSynopsis) StorageWords() int         { return 0 }
+func (fakeSynopsis) Name() string              { return "fake" }
+
+func TestReadSynopsisRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{broken`,
+		`{"family":"nope","payload":{}}`,
+		`{"family":"histogram","payload":{"kind":"bad"}}`,
+		`{"family":"wavelet","payload":{"kind":"bad"}}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadSynopsis(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package rangeagg
+
+import (
+	"fmt"
+
+	"rangeagg/internal/stream"
+	"rangeagg/internal/wavelet"
+)
+
+// Dynamic is a self-maintaining range synopsis: point updates to the
+// distribution cost O(log n) and queries always reflect every update —
+// the dynamic-maintenance setting of the paper's wavelet references
+// [11, 17], here with the range-optimal prefix-domain selection. The full
+// coefficient vector is kept exact internally (O(n) memory, like the data
+// itself); StorageWords reports the size of the *published* top-B
+// synopsis, which is re-selected lazily after updates.
+type Dynamic struct {
+	m      *stream.PrefixMaintainer
+	budget int
+	snap   *wavelet.PrefixSynopsis
+	dirty  bool
+}
+
+// NewDynamic builds a dynamic synopsis over the initial distribution with
+// the given published storage budget.
+func NewDynamic(counts []int64, budgetWords int) (*Dynamic, error) {
+	if budgetWords < 2 {
+		return nil, fmt.Errorf("rangeagg: dynamic synopsis needs at least 2 words, got %d", budgetWords)
+	}
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("rangeagg: negative count %d at value %d", c, i)
+		}
+	}
+	m, err := stream.NewPrefixMaintainer(counts)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dynamic{m: m, budget: budgetWords, dirty: true}
+	if err := d.refresh(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Dynamic) refresh() error {
+	snap, err := d.m.Snapshot(d.budget / 2)
+	if err != nil {
+		return err
+	}
+	d.snap = snap
+	d.dirty = false
+	return nil
+}
+
+// Update applies counts[value] += delta in O(log n).
+func (d *Dynamic) Update(value int, delta int64) error {
+	if err := d.m.Update(value, delta); err != nil {
+		return err
+	}
+	d.dirty = true
+	return nil
+}
+
+// Estimate answers the range query from the current state, re-selecting
+// the published coefficients first if updates arrived since the last
+// query.
+func (d *Dynamic) Estimate(a, b int) float64 {
+	if d.dirty {
+		if err := d.refresh(); err != nil {
+			// Snapshot can only fail for b ≤ 0, excluded at construction.
+			panic(err)
+		}
+	}
+	return d.snap.Estimate(a, b)
+}
+
+// N returns the domain size.
+func (d *Dynamic) N() int { return d.m.N() }
+
+// StorageWords reports the published synopsis size.
+func (d *Dynamic) StorageWords() int {
+	if d.dirty {
+		if err := d.refresh(); err != nil {
+			panic(err)
+		}
+	}
+	return d.snap.StorageWords()
+}
+
+// Name identifies the construction.
+func (d *Dynamic) Name() string { return "WAVE-RANGEOPT(dyn)" }
+
+// Total returns the maintained total record count.
+func (d *Dynamic) Total() int64 { return d.m.Total() }

@@ -1,0 +1,189 @@
+package rangeagg
+
+import (
+	"rangeagg/internal/build"
+	"rangeagg/internal/engine"
+	"rangeagg/internal/sse"
+)
+
+// Metric selects what an engine synopsis summarizes.
+type Metric int
+
+const (
+	// Count answers COUNT(*) WHERE a ≤ attr ≤ b.
+	Count Metric = iota
+	// Sum answers SUM(attr) WHERE a ≤ attr ≤ b.
+	Sum
+)
+
+// String names the metric.
+func (m Metric) String() string { return engine.Metric(m).String() }
+
+// Engine is an in-memory single-column store that maintains the
+// attribute-value distribution of ingested records and serves exact and
+// approximate range aggregates through named synopses — the
+// selectivity-estimation substrate the paper assumes. It is safe for
+// concurrent use.
+type Engine struct {
+	inner *engine.Engine
+}
+
+// NewEngine creates an engine for attribute values in [0, domain).
+func NewEngine(name string, domain int) (*Engine, error) {
+	e, err := engine.New(name, domain)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: e}, nil
+}
+
+// Load bulk-inserts counts per attribute value; len(counts) must equal the
+// domain size.
+func (e *Engine) Load(counts []int64) error { return e.inner.Load(counts) }
+
+// Insert adds occurrences records with the given attribute value.
+func (e *Engine) Insert(value int, occurrences int64) error {
+	return e.inner.Insert(value, occurrences)
+}
+
+// Delete removes occurrences records with the given attribute value.
+func (e *Engine) Delete(value int, occurrences int64) error {
+	return e.inner.Delete(value, occurrences)
+}
+
+// Domain returns the attribute domain size.
+func (e *Engine) Domain() int { return e.inner.Domain() }
+
+// Records returns the total number of records.
+func (e *Engine) Records() int64 { return e.inner.Records() }
+
+// Counts returns a copy of the current distribution.
+func (e *Engine) Counts() []int64 { return e.inner.Counts() }
+
+// ExactCount answers COUNT(*) WHERE a ≤ attr ≤ b exactly, with the range
+// clamped to the domain.
+func (e *Engine) ExactCount(a, b int) int64 { return e.inner.ExactCount(a, b) }
+
+// ExactSum answers SUM(attr) WHERE a ≤ attr ≤ b exactly.
+func (e *Engine) ExactSum(a, b int) int64 { return e.inner.ExactSum(a, b) }
+
+// BuildSynopsis constructs and registers a synopsis under the given name,
+// replacing any existing one.
+func (e *Engine) BuildSynopsis(name string, metric Metric, opt Options) error {
+	_, err := e.inner.BuildSynopsis(name, engine.Metric(metric), build.Options{
+		Method:      opt.Method.internal(),
+		BudgetWords: opt.BudgetWords,
+		Reopt:       opt.Reopt,
+		Seed:        opt.Seed,
+		Epsilon:     opt.Epsilon,
+		RoundedX:    opt.RoundedX,
+		MaxStates:   opt.MaxStates,
+		CoarsenTo:   opt.CoarsenTo,
+		LocalSearch: opt.LocalSearch,
+	})
+	return err
+}
+
+// DropSynopsis removes a named synopsis, reporting whether it existed.
+func (e *Engine) DropSynopsis(name string) bool { return e.inner.DropSynopsis(name) }
+
+// SynopsisNames lists the registered synopsis names, sorted.
+func (e *Engine) SynopsisNames() []string {
+	list := e.inner.Synopses()
+	out := make([]string, len(list))
+	for i, s := range list {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SynopsisInfo describes a registered synopsis.
+type SynopsisInfo struct {
+	// Name is the registration name.
+	Name string
+	// Method is the construction's paper name.
+	Method string
+	// Metric the synopsis answers.
+	Metric Metric
+	// StorageWords is the summary's space.
+	StorageWords int
+	// Stale counts data mutations since the synopsis was built.
+	Stale int64
+}
+
+// Describe reports metadata for a registered synopsis.
+func (e *Engine) Describe(name string) (SynopsisInfo, error) {
+	s, err := e.inner.Synopsis(name)
+	if err != nil {
+		return SynopsisInfo{}, err
+	}
+	return SynopsisInfo{
+		Name:         s.Name,
+		Method:       s.Est.Name(),
+		Metric:       Metric(s.Metric),
+		StorageWords: s.Est.StorageWords(),
+		Stale:        e.inner.Stale(s),
+	}, nil
+}
+
+// Approx answers a range aggregate from a named synopsis; the range is
+// clamped to the domain.
+func (e *Engine) Approx(name string, a, b int) (float64, error) {
+	return e.inner.Approx(name, a, b)
+}
+
+// Refresh rebuilds a registered synopsis from the current data.
+func (e *Engine) Refresh(name string) error {
+	_, err := e.inner.Refresh(name)
+	return err
+}
+
+// Report evaluates a synopsis's error over a workload against the current
+// exact data.
+func (e *Engine) Report(name string, queries []Range) (Metrics, error) {
+	qs := make([]sse.Range, len(queries))
+	for i, q := range queries {
+		qs[i] = sse.Range{A: q.A, B: q.B}
+	}
+	m, err := e.inner.Report(name, qs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{Queries: m.Queries, SSE: m.SSE, MAE: m.MAE,
+		MaxAbs: m.MaxAbs, RMS: m.RMS, MeanRel: m.MeanRel}, nil
+}
+
+// SynopsisSSE returns the exact SSE of a registered synopsis over all
+// ranges of the current data.
+func (e *Engine) SynopsisSSE(name string) (float64, error) {
+	return e.inner.SSE(name)
+}
+
+// SetAutoRefresh enables synopsis maintenance: any synopsis more than
+// threshold mutations stale is rebuilt synchronously before answering a
+// query. threshold ≤ 0 disables the policy (the default).
+func (e *Engine) SetAutoRefresh(threshold int64) { e.inner.SetAutoRefresh(threshold) }
+
+// ProgressiveStep is one state of an online-refined answer: Estimate
+// blends exact mass over the scanned prefix of the range with the
+// synopsis estimate of the remainder.
+type ProgressiveStep struct {
+	Scanned  int
+	Of       int
+	Estimate float64
+}
+
+// Progressive answers a range aggregate in the online-aggregation style:
+// step 0 is the instant synopsis estimate, later steps refine it by exact
+// scanning, and the final step is exact.
+func (e *Engine) Progressive(name string, a, b, chunks int) ([]ProgressiveStep, error) {
+	steps, err := e.inner.Progressive(name, a, b, chunks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProgressiveStep, len(steps))
+	for i, s := range steps {
+		out[i] = ProgressiveStep{Scanned: s.Scanned, Of: s.Of, Estimate: s.Estimate}
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+// Approximate-query-engine example: the engine substrate in action. It
+// ingests a stream of records, maintains named synopses under storage
+// budgets, serves approximate COUNT and SUM range aggregates instantly,
+// tracks staleness as new data arrives, and refreshes the summaries —
+// the approximate/online query processing scenario (AQUA-style) that
+// motivates the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rangeagg"
+)
+
+func main() {
+	const domain = 256
+	eng, err := rangeagg.NewEngine("sensors.reading", domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ingest an initial bulk load: a bimodal sensor-reading distribution.
+	initial, err := rangeagg.ZipfCounts(domain, 1.1, 5000, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Load(initial); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d records over domain [0,%d)\n", eng.Records(), domain)
+
+	// Register two synopses: a COUNT summary on the paper's SAP0
+	// histogram and a SUM summary on the A0 heuristic (cheap to build,
+	// near-optimal for ranges).
+	if err := eng.BuildSynopsis("cnt", rangeagg.Count, rangeagg.Options{
+		Method: rangeagg.SAP0, BudgetWords: 48,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.BuildSynopsis("sum", rangeagg.Sum, rangeagg.Options{
+		Method: rangeagg.A0, BudgetWords: 48,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range eng.SynopsisNames() {
+		info, err := eng.Describe(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("synopsis %-4s %-6s via %-5s  %2d words\n",
+			info.Name, info.Metric, info.Method, info.StorageWords)
+	}
+
+	// Serve approximate aggregates and compare with exact execution.
+	fmt.Println("\napproximate answers vs exact execution:")
+	for _, q := range []rangeagg.Range{{A: 0, B: 255}, {A: 10, B: 30}, {A: 100, B: 220}} {
+		approxCnt, err := eng.Approx("cnt", q.A, q.B)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approxSum, err := eng.Approx("sum", q.A, q.B)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  [%3d,%3d]  COUNT ≈ %9.0f (exact %9d)   SUM ≈ %12.0f (exact %12d)\n",
+			q.A, q.B, approxCnt, eng.ExactCount(q.A, q.B), approxSum, eng.ExactSum(q.A, q.B))
+	}
+
+	// A live stream arrives; the synopses grow stale.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		if err := eng.Insert(rng.Intn(domain), 1+rng.Int63n(3)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	info, err := eng.Describe("cnt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter the stream: %d records, synopsis %q is %d mutations stale\n",
+		eng.Records(), info.Name, info.Stale)
+
+	// Error report before and after refreshing.
+	workload := rangeagg.RandomRanges(domain, 500, 3)
+	before, err := eng.Report("cnt", workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Refresh("cnt"); err != nil {
+		log.Fatal(err)
+	}
+	after, err := eng.Report("cnt", workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COUNT synopsis error on 500 random ranges: RMS %.1f stale → %.1f refreshed\n",
+		before.RMS, after.RMS)
+}

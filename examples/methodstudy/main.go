@@ -1,0 +1,87 @@
+// Method-study example: sweep every summary method across storage budgets
+// and datasets, printing an SSE matrix — a template for choosing a
+// synopsis for your own data. It also demonstrates the §5 re-optimization
+// and the serialization round trip.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rangeagg"
+)
+
+func main() {
+	datasets := map[string][]int64{
+		"paper-zipf": rangeagg.PaperCounts(),
+		"mild-zipf":  mustZipf(127, 0.8, 500, 3),
+	}
+	budgets := []int{16, 32, 64}
+	methods := []rangeagg.Method{
+		rangeagg.PointOpt, rangeagg.A0, rangeagg.SAP0, rangeagg.SAP1,
+		rangeagg.OptA, rangeagg.WaveTopBB, rangeagg.WaveRangeOpt,
+	}
+
+	for name, counts := range datasets {
+		fmt.Printf("== dataset %s (n=%d) ==\n", name, len(counts))
+		fmt.Printf("%-14s", "method")
+		for _, w := range budgets {
+			fmt.Printf("%14s", fmt.Sprintf("SSE@%dw", w))
+		}
+		fmt.Println()
+		for _, m := range methods {
+			fmt.Printf("%-14s", m)
+			for _, w := range budgets {
+				syn, err := rangeagg.Build(counts, rangeagg.Options{Method: m, BudgetWords: w, Seed: 1})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%14.4g", rangeagg.SSE(counts, syn))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	// Re-optimization: same boundaries, optimal values (paper §5).
+	counts := datasets["paper-zipf"]
+	for _, m := range []rangeagg.Method{rangeagg.OptA, rangeagg.A0, rangeagg.EquiWidth} {
+		plain, err := rangeagg.Build(counts, rangeagg.Options{Method: m, BudgetWords: 32, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		re, err := rangeagg.Build(counts, rangeagg.Options{Method: m, BudgetWords: 32, Seed: 1, Reopt: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, a := rangeagg.SSE(counts, plain), rangeagg.SSE(counts, re)
+		fmt.Printf("%-12s SSE %12.4g → %-12s SSE %12.4g  (%.1f%% better)\n",
+			plain.Name(), b, re.Name(), a, 100*(b-a)/b)
+	}
+
+	// Serialization: ship the synopsis to another process.
+	syn, err := rangeagg.Build(counts, rangeagg.Options{Method: rangeagg.SAP1, BudgetWords: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rangeagg.WriteSynopsis(&buf, syn); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	back, err := rangeagg.ReadSynopsis(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserialized %s in %d bytes; deserialized answers s[5,80] = %.2f (original %.2f)\n",
+		syn.Name(), size, back.Estimate(5, 80), syn.Estimate(5, 80))
+}
+
+func mustZipf(n int, alpha, maxCount float64, seed int64) []int64 {
+	c, err := rangeagg.ZipfCounts(n, alpha, maxCount, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,3 @@
+module rangeagg
+
+go 1.22

@@ -1,0 +1,213 @@
+package rangeagg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rangeagg/internal/grid"
+)
+
+// Rect is an inclusive two-dimensional range query over a joint
+// distribution: rows R1..R2 and columns C1..C2.
+type Rect struct{ R1, C1, R2, C2 int }
+
+// Synopsis2D answers approximate rectangle-sum queries over a joint
+// attribute-value distribution — the higher-dimensional extension the
+// paper's footnote 2 sketches.
+type Synopsis2D interface {
+	// Estimate approximates the rectangle sum Σ counts[R1..R2][C1..C2].
+	Estimate(q Rect) float64
+	// Rows and Cols are the domain sizes of the two attributes.
+	Rows() int
+	Cols() int
+	// StorageWords is the summary's space.
+	StorageWords() int
+	// Name identifies the construction.
+	Name() string
+}
+
+// Method2D selects a 2-D construction.
+type Method2D int
+
+const (
+	// Naive2D stores the single global average.
+	Naive2D Method2D = iota
+	// EquiGrid2D is the classical equi-width grid histogram.
+	EquiGrid2D
+	// WaveTopBB2D keeps the largest 2-D Haar coefficients of the counts —
+	// pointwise-optimal, the 2-D TOPBB.
+	WaveTopBB2D
+	// WaveRangeOpt2D keeps the range-optimal 2-D Haar coefficients of the
+	// corner prefix grid (optimal for rectangle queries within its class;
+	// exact argument on power-of-two corner grids).
+	WaveRangeOpt2D
+	// AVI2D is the attribute-value-independence baseline: one A0 synopsis
+	// per marginal, combined under the independence assumption — exact on
+	// product distributions, arbitrarily wrong under correlation.
+	AVI2D
+)
+
+// String names the 2-D method.
+func (m Method2D) String() string {
+	switch m {
+	case Naive2D:
+		return "NAIVE-2D"
+	case EquiGrid2D:
+		return "EQUI-GRID"
+	case WaveTopBB2D:
+		return "TOPBB-2D"
+	case WaveRangeOpt2D:
+		return "WAVE-RANGEOPT-2D"
+	case AVI2D:
+		return "AVI"
+	default:
+		return fmt.Sprintf("Method2D(%d)", int(m))
+	}
+}
+
+// Methods2D lists the 2-D methods.
+func Methods2D() []Method2D {
+	return []Method2D{Naive2D, EquiGrid2D, WaveTopBB2D, WaveRangeOpt2D, AVI2D}
+}
+
+// wrap2D adapts the internal estimator to the public Rect type.
+type wrap2D struct {
+	inner grid.Estimator2D
+}
+
+func (w wrap2D) Estimate(q Rect) float64 {
+	return w.inner.Estimate(grid.Rect(q))
+}
+func (w wrap2D) Rows() int         { return w.inner.Rows() }
+func (w wrap2D) Cols() int         { return w.inner.Cols() }
+func (w wrap2D) StorageWords() int { return w.inner.StorageWords() }
+func (w wrap2D) Name() string      { return w.inner.Name() }
+
+// Build2D constructs a 2-D synopsis over the joint distribution
+// counts[r][c] (rectangular, non-negative) under a word budget.
+func Build2D(counts [][]int64, method Method2D, budgetWords int) (Synopsis2D, error) {
+	g, err := grid.New("grid", counts)
+	if err != nil {
+		return nil, err
+	}
+	tab := grid.NewTable(g)
+	var est grid.Estimator2D
+	switch method {
+	case Naive2D:
+		est = grid.NewNaive2D(tab)
+	case EquiGrid2D:
+		// Budget ≈ cells + two boundary vectors; use a square grid of side
+		// ~sqrt(budget).
+		side := 1
+		for (side+1)*(side+1)+2*(side+1) <= budgetWords {
+			side++
+		}
+		est, err = grid.NewEquiGrid(tab, side, side)
+	case WaveTopBB2D:
+		b := budgetWords / 2
+		if b < 1 {
+			b = 1
+		}
+		est, err = grid.NewWave2D(g, b)
+	case WaveRangeOpt2D:
+		b := budgetWords / 2
+		if b < 1 {
+			b = 1
+		}
+		est, err = grid.NewRangeOpt2D(tab, b)
+	case AVI2D:
+		// Split the budget between the two marginal A0 synopses (minus the
+		// stored total).
+		half := (budgetWords - 1) / 2
+		var rowSyn, colSyn Synopsis
+		rowSyn, err = Build(grid.RowMarginal(g), Options{Method: A0, BudgetWords: half})
+		if err != nil {
+			return nil, err
+		}
+		colSyn, err = Build(grid.ColMarginal(g), Options{Method: A0, BudgetWords: half})
+		if err != nil {
+			return nil, err
+		}
+		est, err = grid.NewAVI(tab, rowSyn, colSyn)
+	default:
+		return nil, fmt.Errorf("rangeagg: unknown 2-D method %v", method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wrap2D{inner: est}, nil
+}
+
+// SSE2D computes the exact sum-squared error of a 2-D synopsis over every
+// rectangle of the joint distribution. The rectangle count is
+// O(rows²·cols²); use Evaluate2D with a sampled workload for large grids.
+func SSE2D(counts [][]int64, s Synopsis2D) (float64, error) {
+	g, err := grid.New("grid", counts)
+	if err != nil {
+		return 0, err
+	}
+	tab := grid.NewTable(g)
+	inner, ok := s.(wrap2D)
+	if !ok {
+		return 0, fmt.Errorf("rangeagg: foreign Synopsis2D implementation %T", s)
+	}
+	return grid.SSEAll(tab, inner.inner), nil
+}
+
+// Evaluate2D computes error metrics of a 2-D synopsis over an explicit
+// rectangle workload.
+func Evaluate2D(counts [][]int64, s Synopsis2D, queries []Rect) (Metrics, error) {
+	g, err := grid.New("grid", counts)
+	if err != nil {
+		return Metrics{}, err
+	}
+	tab := grid.NewTable(g)
+	var m Metrics
+	var relSum float64
+	var relCount int
+	for _, q := range queries {
+		truth := tab.SumF(grid.Rect(q))
+		d := truth - s.Estimate(q)
+		ad := d
+		if ad < 0 {
+			ad = -ad
+		}
+		m.SSE += d * d
+		m.MAE += ad
+		if ad > m.MaxAbs {
+			m.MaxAbs = ad
+		}
+		if truth != 0 {
+			relSum += ad / truth
+			relCount++
+		}
+	}
+	m.Queries = len(queries)
+	if m.Queries > 0 {
+		m.MAE /= float64(m.Queries)
+		m.RMS = math.Sqrt(m.SSE / float64(m.Queries))
+	}
+	if relCount > 0 {
+		m.MeanRel = relSum / float64(relCount)
+	}
+	return m, nil
+}
+
+// RandomRects samples k rectangles uniformly over a rows×cols domain.
+func RandomRects(rows, cols, k int, seed int64) []Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Rect, k)
+	for i := range out {
+		r1, r2 := rng.Intn(rows), rng.Intn(rows)
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		c1, c2 := rng.Intn(cols), rng.Intn(cols)
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		out[i] = Rect{R1: r1, C1: c1, R2: r2, C2: c2}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package advisor recommends a synopsis method for a concrete
+// distribution, storage budget and query workload, by building every
+// candidate and measuring its error on the workload — the "physical
+// design" layer a database would put on top of the paper's algorithms.
+package advisor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/sse"
+)
+
+// Candidate is one evaluated method.
+type Candidate struct {
+	// Method is the construction.
+	Method build.Method
+	// SSE over the evaluation workload.
+	SSE float64
+	// RMS error per query.
+	RMS float64
+	// StorageWords actually used (≤ the budget).
+	StorageWords int
+	// BuildTime is the measured construction cost.
+	BuildTime time.Duration
+	// Err is set when the candidate failed to build; such candidates sort
+	// last.
+	Err error
+}
+
+// Config tunes a recommendation run.
+type Config struct {
+	// BudgetWords is the storage budget each candidate gets.
+	BudgetWords int
+	// Methods restricts the candidate set; nil means every method except
+	// the exact OPT-A family when the instance exceeds ExactLimit.
+	Methods []build.Method
+	// ExactLimit caps the domain size for which the pseudo-polynomial
+	// OPT-A is attempted (0 = 512).
+	ExactLimit int
+	// Seed for randomized constructions.
+	Seed int64
+	// MaxStates bounds the exact DP.
+	MaxStates int
+}
+
+// Recommend evaluates candidate methods on the workload and returns them
+// ranked by workload SSE (ties by storage, then build time). The workload
+// may be nil, in which case the paper's all-ranges metric is used.
+func Recommend(counts []int64, queries []sse.Range, cfg Config) ([]Candidate, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("advisor: empty distribution")
+	}
+	if cfg.BudgetWords <= 0 {
+		return nil, fmt.Errorf("advisor: need a positive budget, got %d", cfg.BudgetWords)
+	}
+	exactLimit := cfg.ExactLimit
+	if exactLimit <= 0 {
+		exactLimit = 512
+	}
+	methods := cfg.Methods
+	if methods == nil {
+		for _, m := range build.Methods() {
+			if (m == build.OptA || m == build.OptARounded) && len(counts) > exactLimit {
+				continue
+			}
+			methods = append(methods, m)
+		}
+	}
+	tab := prefix.NewTable(counts)
+	out := make([]Candidate, 0, len(methods))
+	for _, m := range methods {
+		c := Candidate{Method: m}
+		start := time.Now()
+		est, err := build.Build(counts, build.Options{
+			Method: m, BudgetWords: cfg.BudgetWords,
+			Seed: cfg.Seed, MaxStates: cfg.MaxStates,
+		})
+		c.BuildTime = time.Since(start)
+		if err != nil {
+			c.Err = err
+			c.SSE = math.Inf(1)
+			out = append(out, c)
+			continue
+		}
+		c.StorageWords = est.StorageWords()
+		if len(queries) == 0 {
+			c.SSE = sse.Of(tab, est)
+			nq := tab.N() * (tab.N() + 1) / 2
+			c.RMS = math.Sqrt(c.SSE / float64(nq))
+		} else {
+			metrics := sse.Evaluate(tab, est, queries)
+			c.SSE = metrics.SSE
+			c.RMS = metrics.RMS
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SSE != out[j].SSE {
+			return out[i].SSE < out[j].SSE
+		}
+		if out[i].StorageWords != out[j].StorageWords {
+			return out[i].StorageWords < out[j].StorageWords
+		}
+		return out[i].BuildTime < out[j].BuildTime
+	})
+	return out, nil
+}
+
+// Best returns the winning candidate of a Recommend run.
+func Best(cands []Candidate) (Candidate, error) {
+	for _, c := range cands {
+		if c.Err == nil {
+			return c, nil
+		}
+	}
+	return Candidate{}, fmt.Errorf("advisor: no candidate built successfully")
+}

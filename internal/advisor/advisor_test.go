@@ -1,0 +1,135 @@
+package advisor
+
+import (
+	"math"
+	"testing"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/dataset"
+	"rangeagg/internal/sse"
+)
+
+func paperCounts(t *testing.T) []int64 {
+	t.Helper()
+	d, err := dataset.Zipf(dataset.ZipfConfig{N: 63, Alpha: 1.8, MaxCount: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Counts
+}
+
+func TestRecommendRanksByWorkloadError(t *testing.T) {
+	counts := paperCounts(t)
+	cands, err := Recommend(counts, nil, Config{BudgetWords: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].SSE > cands[i].SSE {
+			t.Fatalf("not sorted: %g before %g", cands[i-1].SSE, cands[i].SSE)
+		}
+	}
+	best, err := Best(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the all-ranges metric, the winner must be one of the range-aware
+	// methods; NAIVE must rank last among successful candidates.
+	if best.Method == build.Naive {
+		t.Errorf("NAIVE won: %+v", best)
+	}
+	last := cands[len(cands)-1]
+	if last.Err == nil && last.Method != build.Naive {
+		// SAP1 at 24 words has only 4 buckets; either it or NAIVE ends last.
+		if last.Method != build.SAP1 && last.Method != build.WaveAA2D && last.Method != build.SAP0 {
+			t.Logf("unexpected last place: %+v (informational)", last)
+		}
+	}
+}
+
+func TestRecommendWithWorkload(t *testing.T) {
+	counts := paperCounts(t)
+	workload := sse.ShortRanges(len(counts), 300, 5, 7)
+	cands, err := Recommend(counts, workload, Config{BudgetWords: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Err != nil {
+			t.Errorf("%s failed: %v", c.Method, c.Err)
+			continue
+		}
+		if math.IsNaN(c.RMS) || c.RMS < 0 {
+			t.Errorf("%s: bad RMS %g", c.Method, c.RMS)
+		}
+		if c.StorageWords > 24 && c.Method != build.Naive {
+			t.Errorf("%s: %d words over budget", c.Method, c.StorageWords)
+		}
+	}
+}
+
+func TestRecommendRestrictedMethods(t *testing.T) {
+	counts := paperCounts(t)
+	cands, err := Recommend(counts, nil, Config{
+		BudgetWords: 16,
+		Methods:     []build.Method{build.A0, build.Naive},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(cands))
+	}
+	if cands[0].Method != build.A0 {
+		t.Errorf("winner = %s, want A0", cands[0].Method)
+	}
+}
+
+func TestRecommendSkipsExactOnLargeDomains(t *testing.T) {
+	counts := make([]int64, 600)
+	for i := range counts {
+		counts[i] = int64(i % 7)
+	}
+	cands, err := Recommend(counts, sse.RandomRanges(600, 50, 1), Config{BudgetWords: 16, ExactLimit: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Method == build.OptA || c.Method == build.OptARounded {
+			t.Errorf("exact family not skipped: %s", c.Method)
+		}
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	if _, err := Recommend(nil, nil, Config{BudgetWords: 8}); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := Recommend([]int64{1}, nil, Config{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestBestSkipsFailures(t *testing.T) {
+	if _, err := Best(nil); err == nil {
+		t.Error("empty candidate list accepted")
+	}
+	cands := []Candidate{
+		{Method: build.OptA, Err: errFake{}},
+		{Method: build.A0, SSE: 5},
+	}
+	best, err := Best(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Method != build.A0 {
+		t.Errorf("best = %s", best.Method)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/dp"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/sse"
+)
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-8*scale
+}
+
+func randCounts(rng *rand.Rand, n int, lim int64) []int64 {
+	c := make([]int64, n)
+	for i := range c {
+		c[i] = rng.Int63n(lim)
+	}
+	return c
+}
+
+// TestOptAMatchesExhaustive is the central correctness test: the sparse
+// pseudo-polynomial DP must reach exactly the optimum found by enumerating
+// every bucketing, for the cumulative-rounded estimator it optimizes.
+func TestOptAMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(9)
+		b := 1 + rng.Intn(4)
+		counts := randCounts(rng, n, 30)
+		tab := prefix.NewTable(counts)
+		h, st, err := OptA(tab, b, Config{Mode: histogram.RoundCumulative})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, wantSSE, err := ExhaustiveOptA(tab, b, histogram.RoundCumulative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEq(st.SSE, wantSSE) {
+			t.Fatalf("trial %d (n=%d b=%d counts=%v): DP SSE %g, exhaustive %g",
+				trial, n, b, counts, st.SSE, wantSSE)
+		}
+		// The reported SSE must equal the histogram's true SSE.
+		if got := sse.Of(tab, h); !approxEq(got, st.SSE) {
+			t.Fatalf("trial %d: reported SSE %g != measured %g", trial, st.SSE, got)
+		}
+	}
+}
+
+func TestOptAMonotoneInBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	counts := randCounts(rng, 14, 40)
+	tab := prefix.NewTable(counts)
+	prev := math.Inf(1)
+	for b := 1; b <= 6; b++ {
+		_, st, err := OptA(tab, b, Config{Mode: histogram.RoundCumulative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allowing one extra bucket can never hurt (the optimum over a
+		// superset of bucketings).
+		if st.SSE > prev+1e-6 {
+			t.Fatalf("SSE increased from %g to %g at b=%d", prev, st.SSE, b)
+		}
+		prev = st.SSE
+	}
+}
+
+func TestOptABeatsPolynomialHeuristics(t *testing.T) {
+	// The exact DP is optimal over all average histograms, so its
+	// (cumulative-rounded) SSE is ≤ that of A0 and POINT-OPT boundaries.
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + rng.Intn(10)
+		b := 2 + rng.Intn(3)
+		counts := randCounts(rng, n, 50)
+		tab := prefix.NewTable(counts)
+		_, st, err := OptA(tab, b, Config{Mode: histogram.RoundCumulative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a0, err := dp.A0(tab, b, histogram.RoundCumulative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, err := dp.PointOpt(tab, b, histogram.RoundCumulative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// POINT-OPT stores weighted means, which are outside OPT-A's
+		// representation class (that slack is what reopt exploits, §5); to
+		// compare against the optimum, refit its boundaries with true
+		// bucket averages.
+		poAvg, err := histogram.NewAvgFromBounds(tab, po.Buckets, histogram.RoundCumulative, "POINT-OPT-avg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []*histogram.Avg{a0, poAvg} {
+			if v := sse.Of(tab, h); v < st.SSE-1e-6 {
+				t.Fatalf("trial %d: %s SSE %g beats 'optimal' %g", trial, h.Name(), v, st.SSE)
+			}
+		}
+	}
+}
+
+func TestOptAValidation(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3})
+	if _, _, err := OptA(tab, 0, Config{}); err == nil {
+		t.Error("b=0 should fail")
+	}
+}
+
+func TestOptABudgetExceeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	counts := randCounts(rng, 40, 1000)
+	tab := prefix.NewTable(counts)
+	_, _, err := OptA(tab, 5, Config{MaxStates: 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestOptARoundedX1IsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	counts := randCounts(rng, 12, 30)
+	tab := prefix.NewTable(counts)
+	res, err := OptARounded(tab, 3, 1, 7, Config{Mode: histogram.RoundCumulative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.X != 1 {
+		t.Fatalf("x=1 result not marked exact: %+v", res)
+	}
+	_, wantSSE, _ := ExhaustiveOptA(tab, 3, histogram.RoundCumulative)
+	if got := sse.Of(tab, res.Hist); !approxEq(got, wantSSE) {
+		t.Fatalf("SSE %g, want %g", got, wantSSE)
+	}
+}
+
+func TestOptARoundedNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 6; trial++ {
+		n := 8 + rng.Intn(8)
+		counts := randCounts(rng, n, 60)
+		tab := prefix.NewTable(counts)
+		_, st, err := OptA(tab, 3, Config{Mode: histogram.RoundCumulative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range []int64{2, 4, 8} {
+			res, err := OptARounded(tab, 3, x, 7, Config{Mode: histogram.RoundCumulative})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sse.Of(tab, res.Hist)
+			if got < st.SSE-1e-6 {
+				t.Fatalf("trial %d x=%d: rounded SSE %g beats exact optimum %g", trial, x, got, st.SSE)
+			}
+		}
+	}
+}
+
+func TestOptARoundedDegradesGracefully(t *testing.T) {
+	// With moderate x the rounded histogram should stay within a small
+	// factor of optimal — the substance of Theorem 4 on a concrete input.
+	rng := rand.New(rand.NewSource(67))
+	counts := randCounts(rng, 16, 200)
+	tab := prefix.NewTable(counts)
+	_, st, err := OptA(tab, 4, Config{Mode: histogram.RoundCumulative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptARounded(tab, 4, 4, 7, Config{Mode: histogram.RoundCumulative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sse.Of(tab, res.Hist)
+	if st.SSE > 0 && got > 3*st.SSE {
+		t.Fatalf("rounded SSE %g more than 3× optimal %g", got, st.SSE)
+	}
+}
+
+func TestOptAAutoFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	counts := randCounts(rng, 30, 2000)
+	tab := prefix.NewTable(counts)
+	res, err := OptAAuto(tab, 4, 7, Config{MaxStates: 20000, Mode: histogram.RoundNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hist == nil {
+		t.Fatal("no histogram")
+	}
+	if res.X == 1 {
+		// Plausible but unlikely with this budget; either way the result
+		// must be a valid ≤4-bucket histogram.
+		t.Logf("exact fit within budget (states=%d)", res.Stats.States)
+	}
+	if res.Hist.Buckets.NumBuckets() > 4 {
+		t.Fatalf("too many buckets: %d", res.Hist.Buckets.NumBuckets())
+	}
+}
+
+func TestXForEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(69))
+	counts := randCounts(rng, 50, 5000)
+	tab := prefix.NewTable(counts)
+	if x := XForEpsilon(tab, 5, 0); x != 1 {
+		t.Errorf("eps=0 → x=%d, want 1", x)
+	}
+	x1 := XForEpsilon(tab, 5, 0.1)
+	x2 := XForEpsilon(tab, 5, 1.0)
+	if x2 < x1 {
+		t.Errorf("x not monotone in eps: x(0.1)=%d x(1.0)=%d", x1, x2)
+	}
+	if x1 < 1 {
+		t.Errorf("x must be at least 1, got %d", x1)
+	}
+}
+
+func TestExhaustiveRefusesLargeN(t *testing.T) {
+	tab := prefix.NewTable(make([]int64, 30))
+	if _, _, err := ExhaustiveOptA(tab, 3, histogram.RoundNone); err == nil {
+		t.Error("n=30 should be refused")
+	}
+}
+
+// TestOptAUnroundedModeReturnsSameBoundaries checks the Mode plumbing: the
+// DP optimizes the rounded estimator; RoundNone only changes answering.
+func TestOptAModePlumbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	counts := randCounts(rng, 12, 30)
+	tab := prefix.NewTable(counts)
+	h1, _, err := OptA(tab, 3, Config{Mode: histogram.RoundCumulative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := OptA(tab, 3, Config{Mode: histogram.RoundNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h1.Buckets.Equal(h2.Buckets) {
+		t.Fatalf("modes changed boundaries: %v vs %v", h1.Buckets.Starts, h2.Buckets.Starts)
+	}
+	if h2.Mode != histogram.RoundNone {
+		t.Error("mode not applied")
+	}
+}
+
+// TestWarmupMatchesImproved: the §2.1.1 warm-up DP and the §2.1.2
+// improved DP reach the same optimum; the warm-up generates at least as
+// many states.
+func TestWarmupMatchesImproved(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(8)
+		b := 1 + rng.Intn(3)
+		counts := randCounts(rng, n, 30)
+		tab := prefix.NewTable(counts)
+		_, stImproved, err := OptA(tab, b, Config{Mode: histogram.RoundCumulative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw, stWarm, err := OptAWarmup(tab, b, Config{Mode: histogram.RoundCumulative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEq(stWarm.SSE, stImproved.SSE) {
+			t.Fatalf("trial %d: warm-up SSE %g != improved %g (counts=%v b=%d)",
+				trial, stWarm.SSE, stImproved.SSE, counts, b)
+		}
+		if got := sse.Of(tab, hw); !approxEq(got, stWarm.SSE) {
+			t.Fatalf("trial %d: warm-up reported %g but measured %g", trial, stWarm.SSE, got)
+		}
+		if stWarm.States < stImproved.States {
+			t.Logf("trial %d: warm-up states %d < improved %d (possible with heavy pruning)",
+				trial, stWarm.States, stImproved.States)
+		}
+	}
+}
+
+func TestWarmupValidationAndBudget(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3})
+	if _, _, err := OptAWarmup(tab, 0, Config{}); err == nil {
+		t.Error("b=0 accepted")
+	}
+	rng := rand.New(rand.NewSource(182))
+	big := prefix.NewTable(randCounts(rng, 40, 1000))
+	if _, _, err := OptAWarmup(big, 5, Config{MaxStates: 10}); !errors.Is(err, ErrBudget) {
+		t.Error("budget not enforced")
+	}
+}

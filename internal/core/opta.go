@@ -1,0 +1,277 @@
+// Package core implements the paper's primary contribution: the exact
+// pseudo-polynomial dynamic program for the range-optimal OPT-A histogram
+// (§2.1.1–2.1.2, Theorems 1–2) and its (1+ε)-approximate OPT-A-ROUNDED
+// variant (§2.1.3, Theorem 4).
+//
+// # Formulation
+//
+// With the integral cumulative rounding of DESIGN.md §3.1, a k-bucket
+// histogram of the prefix A[0..i-1] fixes integral pointwise errors
+// e_t = P[t] − Ĉ[t] for t ≤ i, zero at bucket boundaries. Over the whole
+// array the range-query SSE is exactly N·Σe² − (Σe)² (N = n+1), the
+// prefix-error identity. The DP state is therefore
+//
+//	G(i, k, Λ) = min Σ_{t≤i} e_t²  over k-bucket histograms of A[0..i-1]
+//	             with Σ_{t≤i} e_t = Λ,
+//
+// which is precisely the paper's improved F*(i,k,Λ) recurrence — Λ is the
+// paper's Λ and G is the minimal Λ₂ — kept sparse in Λ with two admissible
+// prunings: per-(i,k) dominance (a hash map keyed by Λ keeps the smallest
+// Σe²) and a convexity lower bound against a heuristic upper bound: for m
+// remaining positions the final SSE is at least N·q − Λ²·N/(N−m).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+// ErrBudget is returned when the exact DP exceeds its state budget; the
+// caller should fall back to OPT-A-ROUNDED (or raise the budget).
+var ErrBudget = errors.New("core: exact OPT-A state budget exceeded")
+
+// Config tunes the exact dynamic program.
+type Config struct {
+	// MaxStates caps the total number of DP states retained across all
+	// layers (the memory driver — every layer is kept for backtracking);
+	// 0 means DefaultMaxStates. When exceeded, OptA returns ErrBudget
+	// promptly, so a failed attempt costs at most MaxStates insertions.
+	MaxStates int
+	// UpperBound is an optional known-achievable SSE used for pruning.
+	// When 0, OptA derives one from the best of the equi-width and
+	// equi-depth histograms under cumulative rounding.
+	UpperBound float64
+	// Mode selects the rounding mode of the returned histogram. The DP
+	// itself always optimizes the cumulative-rounded estimator (see the
+	// package comment); RoundNone (the default) returns the same
+	// boundaries with exact real-valued answering.
+	Mode histogram.Rounding
+}
+
+// DefaultMaxStates bounds DP memory to roughly a few hundred MB worst
+// case; real instances stay far below it because of pruning.
+const DefaultMaxStates = 4_000_000
+
+// Stats reports what the exact DP did.
+type Stats struct {
+	// States is the peak number of live states in one layer.
+	States int
+	// Generated counts every state insertion attempt.
+	Generated int64
+	// Pruned counts states discarded by the lower-bound test.
+	Pruned int64
+	// SSE is the optimal objective value (of the cumulative-rounded
+	// estimator) found by the DP.
+	SSE float64
+	// Buckets is the number of buckets in the optimum.
+	Buckets int
+}
+
+// state is a DP cell for a fixed (position, bucket-count, Λ).
+type state struct {
+	q float64 // Σ e²  (float64: values can exceed int64 for huge inputs)
+	// backtracking: previous boundary and its Λ.
+	prevJ   int32
+	prevLam int64
+}
+
+// OptA computes the range-optimal OPT-A histogram with at most b buckets
+// by the exact pseudo-polynomial DP. It returns the histogram (with true
+// bucket averages as values), DP statistics, and an error — ErrBudget when
+// the sparse state space outgrew cfg.MaxStates.
+func OptA(tab *prefix.Table, b int, cfg Config) (*histogram.Avg, *Stats, error) {
+	n := tab.N()
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("core: empty domain")
+	}
+	if b <= 0 {
+		return nil, nil, fmt.Errorf("core: need at least one bucket, got %d", b)
+	}
+	if b > n {
+		b = n
+	}
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	ub := cfg.UpperBound
+	if ub <= 0 {
+		ub = heuristicUpperBound(tab, b)
+	}
+
+	// Precompute per-bucket interior error sums: for bucket covering data
+	// [j, i-1] (prefix positions j..i), lam[j][i] = Σ interior e_t and
+	// q2[j][i] = Σ interior e_t². O(n³) preprocessing, O(n²) memory.
+	lam, q2 := bucketErrorTables(tab)
+
+	N := float64(n + 1)
+	// layer[k][i] maps Λ → best state. Keep only layers k−1 and k.
+	prev := make([]map[int64]state, n+1)
+	prev[0] = map[int64]state{0: {q: 0, prevJ: -1}}
+	// full[k][i] retained for backtracking.
+	full := make([][]map[int64]state, b+1)
+	full[0] = prev
+
+	var st Stats
+	bestSSE := math.Inf(1)
+	bestK, bestI := -1, -1
+	var bestLam int64
+	totalStates := 0
+
+	for k := 1; k <= b; k++ {
+		cur := make([]map[int64]state, n+1)
+		layerStates := 0
+		for i := k; i <= n; i++ {
+			m := n - i // remaining error positions after i
+			denom := N - float64(m)
+			var cell map[int64]state
+			for j := k - 1; j < i; j++ {
+				src := prev[j]
+				if len(src) == 0 {
+					continue
+				}
+				dLam := lam[j][i]
+				dQ := q2[j][i]
+				for lamPrev, sPrev := range src {
+					nl := lamPrev + dLam
+					nq := sPrev.q + dQ
+					st.Generated++
+					// Admissible lower bound on the final SSE from here.
+					lb := N*nq - float64(nl)*float64(nl)*N/denom
+					if lb > ub {
+						st.Pruned++
+						continue
+					}
+					if cell == nil {
+						cell = make(map[int64]state)
+					}
+					if old, ok := cell[nl]; !ok || nq < old.q {
+						if !ok {
+							layerStates++
+							totalStates++
+							if totalStates > maxStates {
+								return nil, &st, fmt.Errorf("%w: %d retained states at layer k=%d (budget %d)",
+									ErrBudget, totalStates, k, maxStates)
+							}
+						}
+						cell[nl] = state{q: nq, prevJ: int32(j), prevLam: lamPrev}
+					}
+				}
+			}
+			cur[i] = cell
+		}
+		if layerStates > st.States {
+			st.States = layerStates
+		}
+		// Check completions at i = n with exactly k buckets.
+		for lamVal, s := range cur[n] {
+			sse := N*s.q - float64(lamVal)*float64(lamVal)
+			if sse < bestSSE {
+				bestSSE, bestK, bestI, bestLam = sse, k, n, lamVal
+			}
+		}
+		if bestSSE < ub {
+			ub = bestSSE // tighten pruning for later layers
+		}
+		full[k] = cur
+		prev = cur
+	}
+	if bestK < 0 {
+		return nil, &st, fmt.Errorf("core: no feasible OPT-A solution (over-pruned?)")
+	}
+	st.SSE = bestSSE
+	st.Buckets = bestK
+
+	// Backtrack boundaries.
+	starts := make([]int, bestK)
+	i, lamVal := bestI, bestLam
+	for k := bestK; k >= 1; k-- {
+		s, ok := full[k][i][lamVal]
+		if !ok {
+			return nil, &st, fmt.Errorf("core: backtracking lost state at k=%d i=%d", k, i)
+		}
+		starts[k-1] = int(s.prevJ)
+		i, lamVal = int(s.prevJ), s.prevLam
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		return nil, &st, err
+	}
+	h, err := histogram.NewAvgFromBounds(tab, bk, cfg.Mode, "OPT-A")
+	if err != nil {
+		return nil, &st, err
+	}
+	return h, &st, nil
+}
+
+// bucketErrorTables computes, for every bucket [j, i-1] in prefix-position
+// form (0 ≤ j < i ≤ n), the sum and sum of squares of the interior rounded
+// cumulative errors e_t = P[t] − RoundedCum(...), t ∈ (j, i).
+func bucketErrorTables(tab *prefix.Table) (lam [][]int64, q2 [][]float64) {
+	n := tab.N()
+	lam = make([][]int64, n+1)
+	q2 = make([][]float64, n+1)
+	for j := 0; j <= n; j++ {
+		lam[j] = make([]int64, n+1)
+		q2[j] = make([]float64, n+1)
+	}
+	for j := 0; j < n; j++ {
+		for i := j + 1; i <= n; i++ {
+			// Bucket over data [j, i-1]; interior prefix positions t ∈ (j, i).
+			var l int64
+			var q float64
+			for t := j + 1; t < i; t++ {
+				e := tab.PInt[t] - tab.RoundedCum(j, i-1, t)
+				l += e
+				q += float64(e) * float64(e)
+			}
+			lam[j][i] = l
+			q2[j][i] = q
+		}
+	}
+	return lam, q2
+}
+
+// heuristicUpperBound returns an SSE achievable by some at-most-b-bucket
+// cumulative-rounded average histogram, for pruning.
+func heuristicUpperBound(tab *prefix.Table, b int) float64 {
+	ub := math.Inf(1)
+	if bk, err := histogram.EquiWidth(tab.N(), b); err == nil {
+		if h, err := histogram.NewAvgFromBounds(tab, bk, histogram.RoundCumulative, "ub"); err == nil {
+			if v := roundedSSE(tab, h); v < ub {
+				ub = v
+			}
+		}
+	}
+	if bk, err := histogram.EquiDepth(tab, b); err == nil {
+		if h, err := histogram.NewAvgFromBounds(tab, bk, histogram.RoundCumulative, "ub"); err == nil {
+			if v := roundedSSE(tab, h); v < ub {
+				ub = v
+			}
+		}
+	}
+	if math.IsInf(ub, 1) {
+		// Single bucket always exists.
+		bk := &histogram.Bucketing{N: tab.N(), Starts: []int{0}}
+		if h, err := histogram.NewAvgFromBounds(tab, bk, histogram.RoundCumulative, "ub"); err == nil {
+			ub = roundedSSE(tab, h)
+		}
+	}
+	return ub
+}
+
+// roundedSSE evaluates the exact SSE of a cumulative-rounded average
+// histogram via the prefix-error identity (duplicated from internal/sse to
+// avoid a dependency cycle through tests; it is two lines).
+func roundedSSE(tab *prefix.Table, h *histogram.Avg) float64 {
+	n := tab.N()
+	e := make([]float64, n+1)
+	for t := 0; t <= n; t++ {
+		e[t] = tab.P[t] - math.Round(h.CumEstimate(t))
+	}
+	return prefix.SSEFromErrors(e)
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+// ExhaustiveOptA enumerates every bucketing with at most b buckets and
+// returns the average histogram with the smallest SSE under the given
+// rounding mode. Exponential in n — it exists as the test oracle for the
+// dynamic program and for the tiny-instance benchmark role the paper gives
+// the optimal histogram.
+func ExhaustiveOptA(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, float64, error) {
+	n := tab.N()
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("core: empty domain")
+	}
+	if b <= 0 {
+		return nil, 0, fmt.Errorf("core: need at least one bucket, got %d", b)
+	}
+	if n > 24 {
+		return nil, 0, fmt.Errorf("core: exhaustive search refuses n=%d > 24", n)
+	}
+	bestSSE := math.Inf(1)
+	var bestStarts []int
+	var rec func(starts []int, next int)
+	rec = func(starts []int, next int) {
+		sse := avgSSE(tab, starts, mode)
+		if sse < bestSSE {
+			bestSSE = sse
+			bestStarts = append([]int(nil), starts...)
+		}
+		if len(starts) >= b {
+			return
+		}
+		for pos := next; pos < n; pos++ {
+			rec(append(starts, pos), pos+1)
+		}
+	}
+	rec([]int{0}, 1)
+	bk, err := histogram.NewBucketing(n, bestStarts)
+	if err != nil {
+		return nil, 0, err
+	}
+	h, err := histogram.NewAvgFromBounds(tab, bk, mode, "OPT-A(exhaustive)")
+	if err != nil {
+		return nil, 0, err
+	}
+	return h, bestSSE, nil
+}
+
+// avgSSE evaluates the SSE of the average histogram with the given starts
+// via the prefix-error identity, honouring the rounding mode (RoundAnswer
+// falls back to the O(n²) definition because it is not
+// prefix-decomposable).
+func avgSSE(tab *prefix.Table, starts []int, mode histogram.Rounding) float64 {
+	n := tab.N()
+	bk := &histogram.Bucketing{N: n, Starts: starts}
+	h, err := histogram.NewAvgFromBounds(tab, bk, mode, "tmp")
+	if err != nil {
+		return math.Inf(1)
+	}
+	switch mode {
+	case histogram.RoundAnswer:
+		var sum float64
+		for a := 0; a < n; a++ {
+			for bb := a; bb < n; bb++ {
+				d := tab.SumF(a, bb) - h.Estimate(a, bb)
+				sum += d * d
+			}
+		}
+		return sum
+	case histogram.RoundCumulative:
+		return roundedSSE(tab, h)
+	default:
+		e := make([]float64, n+1)
+		for t := 0; t <= n; t++ {
+			e[t] = tab.P[t] - h.CumEstimate(t)
+		}
+		return prefix.SSEFromErrors(e)
+	}
+}

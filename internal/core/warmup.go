@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+// OptAWarmup is the paper's §2.1.1 warm-up algorithm: the dynamic program
+// that carries BOTH running sums (Λ, Λ₂) in its state, i.e.
+// E*(i,k,Λ₂,Λ), instead of the improved §2.1.2 formulation that keys on Λ
+// alone and minimizes Λ₂ (OptA here). Both reach the same optimum; the
+// warm-up explores every reachable (Λ, Λ₂) pair and is kept as an
+// executable ablation of why the improvement matters (compare
+// Stats.Generated). Use OptA for real work.
+func OptAWarmup(tab *prefix.Table, b int, cfg Config) (*histogram.Avg, *Stats, error) {
+	n := tab.N()
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("core: empty domain")
+	}
+	if b <= 0 {
+		return nil, nil, fmt.Errorf("core: need at least one bucket, got %d", b)
+	}
+	if b > n {
+		b = n
+	}
+	maxStates := cfg.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	ub := cfg.UpperBound
+	if ub <= 0 {
+		ub = heuristicUpperBound(tab, b)
+	}
+	lam, q2 := bucketErrorTables(tab)
+	N := float64(n + 1)
+
+	type key struct {
+		lam int64
+		q   int64 // Λ₂ is integral for integral data; q2 values are whole numbers
+	}
+	type wstate struct {
+		prevJ   int32
+		prevLam int64
+		prevQ   int64
+	}
+	prev := make([]map[key]wstate, n+1)
+	prev[0] = map[key]wstate{{0, 0}: {prevJ: -1}}
+	full := make([][]map[key]wstate, b+1)
+	full[0] = prev
+
+	var st Stats
+	bestSSE := math.Inf(1)
+	bestK := -1
+	var bestKey key
+	totalStates := 0
+
+	for k := 1; k <= b; k++ {
+		cur := make([]map[key]wstate, n+1)
+		layerStates := 0
+		for i := k; i <= n; i++ {
+			m := n - i
+			denom := N - float64(m)
+			var cell map[key]wstate
+			for j := k - 1; j < i; j++ {
+				src := prev[j]
+				if len(src) == 0 {
+					continue
+				}
+				dLam := lam[j][i]
+				dQ := int64(q2[j][i])
+				for kk := range src {
+					nl := kk.lam + dLam
+					nq := kk.q + dQ
+					st.Generated++
+					lb := N*float64(nq) - float64(nl)*float64(nl)*N/denom
+					if lb > ub {
+						st.Pruned++
+						continue
+					}
+					if cell == nil {
+						cell = make(map[key]wstate)
+					}
+					nk := key{nl, nq}
+					if _, ok := cell[nk]; !ok {
+						layerStates++
+						totalStates++
+						if totalStates > maxStates {
+							return nil, &st, fmt.Errorf("%w: %d retained states at layer k=%d (budget %d)",
+								ErrBudget, totalStates, k, maxStates)
+						}
+						cell[nk] = wstate{prevJ: int32(j), prevLam: kk.lam, prevQ: kk.q}
+					}
+				}
+			}
+			cur[i] = cell
+		}
+		if layerStates > st.States {
+			st.States = layerStates
+		}
+		for kk := range cur[n] {
+			sse := N*float64(kk.q) - float64(kk.lam)*float64(kk.lam)
+			if sse < bestSSE {
+				bestSSE, bestK, bestKey = sse, k, kk
+			}
+		}
+		if bestSSE < ub {
+			ub = bestSSE
+		}
+		full[k] = cur
+		prev = cur
+	}
+	if bestK < 0 {
+		return nil, &st, fmt.Errorf("core: no feasible OPT-A solution (over-pruned?)")
+	}
+	st.SSE = bestSSE
+	st.Buckets = bestK
+
+	starts := make([]int, bestK)
+	i, kk := n, bestKey
+	for k := bestK; k >= 1; k-- {
+		s, ok := full[k][i][kk]
+		if !ok {
+			return nil, &st, fmt.Errorf("core: warm-up backtracking lost state at k=%d i=%d", k, i)
+		}
+		starts[k-1] = int(s.prevJ)
+		i, kk = int(s.prevJ), key{s.prevLam, s.prevQ}
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		return nil, &st, err
+	}
+	h, err := histogram.NewAvgFromBounds(tab, bk, cfg.Mode, "OPT-A(warmup)")
+	if err != nil {
+		return nil, &st, err
+	}
+	return h, &st, nil
+}

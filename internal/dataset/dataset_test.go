@@ -1,0 +1,385 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New("empty", nil); err == nil {
+		t.Fatal("want error for empty counts")
+	}
+	if _, err := New("neg", []int64{1, -2, 3}); err == nil {
+		t.Fatal("want error for negative count")
+	}
+	d, err := New("ok", []int64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if d.N() != 3 {
+		t.Fatalf("N = %d, want 3", d.N())
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _ := New("d", []int64{2, 4, 6})
+	if got := d.Total(); got != 12 {
+		t.Errorf("Total = %d, want 12", got)
+	}
+	if got := d.Max(); got != 6 {
+		t.Errorf("Max = %d, want 6", got)
+	}
+	if got := d.Mean(); got != 4 {
+		t.Errorf("Mean = %g, want 4", got)
+	}
+	wantVar := ((2.0-4)*(2.0-4) + 0 + (6.0-4)*(6.0-4)) / 3
+	if got := d.Variance(); math.Abs(got-wantVar) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", got, wantVar)
+	}
+	if got := d.Skew(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Skew = %g, want 1.5", got)
+	}
+}
+
+func TestRangeSum(t *testing.T) {
+	d, _ := New("d", []int64{1, 2, 3, 4, 5})
+	cases := []struct {
+		a, b int
+		want int64
+	}{
+		{0, 4, 15}, {0, 0, 1}, {4, 4, 5}, {1, 3, 9},
+	}
+	for _, c := range cases {
+		if got := d.RangeSum(c.a, c.b); got != c.want {
+			t.Errorf("RangeSum(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRangeSumPanicsOnBadRange(t *testing.T) {
+	d, _ := New("d", []int64{1, 2, 3})
+	for _, r := range [][2]int{{-1, 2}, {0, 3}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RangeSum(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			d.RangeSum(r[0], r[1])
+		}()
+	}
+}
+
+func TestClamp(t *testing.T) {
+	d, _ := New("d", []int64{1, 2, 3})
+	a, b, ok := d.Clamp(-5, 10)
+	if !ok || a != 0 || b != 2 {
+		t.Errorf("Clamp(-5,10) = (%d,%d,%v), want (0,2,true)", a, b, ok)
+	}
+	if _, _, ok := d.Clamp(5, 7); ok {
+		t.Error("Clamp(5,7) should report empty")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d, _ := New("d", []int64{1, 2, 3})
+	c := d.Clone()
+	c.Counts[0] = 99
+	if d.Counts[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestRandomRoundUnbiasedAndIntegral(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Integral input returned unchanged.
+	if got := RandomRound(5, rng); got != 5 {
+		t.Fatalf("RandomRound(5) = %d", got)
+	}
+	// Fractional input rounds to a neighbour, roughly evenly.
+	const trials = 20000
+	var up int
+	for i := 0; i < trials; i++ {
+		v := RandomRound(2.5, rng)
+		if v != 2 && v != 3 {
+			t.Fatalf("RandomRound(2.5) = %d, want 2 or 3", v)
+		}
+		if v == 3 {
+			up++
+		}
+	}
+	frac := float64(up) / trials
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("up fraction %.3f, want near 0.5", frac)
+	}
+}
+
+func TestRandomRoundNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(x float64) bool {
+		x = math.Abs(math.Mod(x, 1e6))
+		return RandomRound(x, rng) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfPaperDataset(t *testing.T) {
+	d, err := Zipf(DefaultPaper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 127 {
+		t.Fatalf("N = %d, want 127", d.N())
+	}
+	if d.Counts[0] != 1000 {
+		t.Errorf("head count = %d, want 1000 (MaxCount is integral)", d.Counts[0])
+	}
+	// Zipf ranked output decays: the head dominates the tail.
+	if d.Counts[0] <= d.Counts[126]*10 {
+		t.Errorf("no visible decay: head=%d tail=%d", d.Counts[0], d.Counts[126])
+	}
+	// Deterministic under the same seed.
+	d2, _ := Zipf(DefaultPaper())
+	for i := range d.Counts {
+		if d.Counts[i] != d2.Counts[i] {
+			t.Fatalf("not deterministic at %d: %d vs %d", i, d.Counts[i], d2.Counts[i])
+		}
+	}
+}
+
+func TestZipfPermute(t *testing.T) {
+	cfg := DefaultPaper()
+	cfg.Permute = true
+	d, err := Zipf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, _ := Zipf(DefaultPaper())
+	if d.Total() != ranked.Total() {
+		t.Errorf("permutation changed total: %d vs %d", d.Total(), ranked.Total())
+	}
+}
+
+func TestZipfRejectsBadConfig(t *testing.T) {
+	bad := []ZipfConfig{
+		{N: 0, Alpha: 1.8, MaxCount: 10},
+		{N: 5, Alpha: math.NaN(), MaxCount: 10},
+		{N: 5, Alpha: 1.8, MaxCount: -1},
+		{N: 5, Alpha: 1.8, MaxCount: math.Inf(1)},
+	}
+	for _, cfg := range bad {
+		if _, err := Zipf(cfg); err == nil {
+			t.Errorf("Zipf(%+v) should fail", cfg)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	gens := map[string]func() (*Distribution, error){
+		"uniform":     func() (*Distribution, error) { return Uniform(50, 0, 100, 1) },
+		"gauss":       func() (*Distribution, error) { return Gauss(50, 200, 0.1, 1) },
+		"multimodal":  func() (*Distribution, error) { return MultiModal(60, 3, 100, 1) },
+		"cusp":        func() (*Distribution, error) { return Cusp(50, 100, 0.2, 1) },
+		"selfsimilar": func() (*Distribution, error) { return SelfSimilar(50, 10000, 0.8, 1) },
+		"spikes":      func() (*Distribution, error) { return Spikes(50, 5, 500, 1) },
+	}
+	for name, gen := range gens {
+		d, err := gen()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: invalid output: %v", name, err)
+		}
+		if d.Total() == 0 {
+			t.Errorf("%s: generated an all-zero dataset", name)
+		}
+	}
+}
+
+func TestGeneratorsRejectBadParams(t *testing.T) {
+	if _, err := Uniform(0, 0, 10, 1); err == nil {
+		t.Error("Uniform n=0 should fail")
+	}
+	if _, err := Uniform(5, 10, 2, 1); err == nil {
+		t.Error("Uniform hi<lo should fail")
+	}
+	if _, err := Gauss(5, -1, 0.1, 1); err == nil {
+		t.Error("Gauss peak<0 should fail")
+	}
+	if _, err := MultiModal(5, 0, 10, 1); err == nil {
+		t.Error("MultiModal k=0 should fail")
+	}
+	if _, err := Cusp(-1, 10, 0, 1); err == nil {
+		t.Error("Cusp n<0 should fail")
+	}
+	if _, err := SelfSimilar(5, 100, 1.5, 1); err == nil {
+		t.Error("SelfSimilar h>1 should fail")
+	}
+	if _, err := Spikes(5, 9, 10, 1); err == nil {
+		t.Error("Spikes k>n should fail")
+	}
+}
+
+func TestGaussIsPeakedInTheMiddle(t *testing.T) {
+	d, err := Gauss(101, 1000, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := d.Counts[50]
+	if mid < d.Counts[0] || mid < d.Counts[100] {
+		t.Errorf("Gauss not peaked: mid=%d edges=%d,%d", mid, d.Counts[0], d.Counts[100])
+	}
+}
+
+func TestSelfSimilarSkew(t *testing.T) {
+	d, err := SelfSimilar(64, 100000, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With h=0.9 almost all mass sits at index 0.
+	if d.Counts[0] < d.Total()/2 {
+		t.Errorf("SelfSimilar(h=0.9) head=%d of total=%d, want majority", d.Counts[0], d.Total())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, _ := Zipf(ZipfConfig{N: 20, Alpha: 1.5, MaxCount: 100, Seed: 3})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name {
+		t.Errorf("name = %q, want %q", got.Name, d.Name)
+	}
+	if len(got.Counts) != len(d.Counts) {
+		t.Fatalf("len = %d, want %d", len(got.Counts), len(d.Counts))
+	}
+	for i := range d.Counts {
+		if got.Counts[i] != d.Counts[i] {
+			t.Fatalf("counts[%d] = %d, want %d", i, got.Counts[i], d.Counts[i])
+		}
+	}
+}
+
+func TestReadCSVBareCounts(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("3\n1\n4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 1, 4}
+	for i, w := range want {
+		if d.Counts[i] != w {
+			t.Fatalf("counts[%d] = %d, want %d", i, d.Counts[i], w)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"0,1\n2,5\n", // index gap
+		"a,1\n",      // bad index
+		"0,x\n",      // bad count
+		"0,1,2,3\n",  // too many fields
+		"0,-4\n",     // negative count caught by validation
+		"",           // empty
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", in)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d, _ := New("jt", []int64{5, 0, 7})
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "jt" || got.N() != 3 || got.Counts[2] != 7 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","counts":[-1]}`)); err == nil {
+		t.Error("negative count should fail validation")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{broken`)); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	d, _ := New("demo", []int64{1, 3})
+	s := d.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "n=2") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	d, offset, err := FromValues("raw", []int64{10, 12, 10, 15, 12, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != 10 {
+		t.Errorf("offset = %d, want 10", offset)
+	}
+	if d.N() != 6 { // domain 10..15
+		t.Fatalf("N = %d, want 6", d.N())
+	}
+	want := []int64{3, 0, 2, 0, 0, 1}
+	for i, w := range want {
+		if d.Counts[i] != w {
+			t.Fatalf("counts[%d] = %d, want %d", i, d.Counts[i], w)
+		}
+	}
+	if _, _, err := FromValues("empty", nil); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, _, err := FromValues("huge", []int64{0, 1 << 40}); err == nil {
+		t.Error("huge span accepted")
+	}
+	// Negative raw values are fine — the offset shifts them.
+	d2, off2, err := FromValues("neg", []int64{-5, -3, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 != -5 || d2.Counts[0] != 2 || d2.Counts[2] != 1 {
+		t.Errorf("negative handling: off=%d counts=%v", off2, d2.Counts)
+	}
+}
+
+func TestReadValues(t *testing.T) {
+	in := "# header\n5\n\n7\n5\n"
+	d, off, err := ReadValues("raw", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 5 || d.N() != 3 || d.Counts[0] != 2 || d.Counts[2] != 1 {
+		t.Errorf("parsed: off=%d counts=%v", off, d.Counts)
+	}
+	if _, _, err := ReadValues("bad", strings.NewReader("5\nxyz\n")); err == nil {
+		t.Error("bad line accepted")
+	}
+	if _, _, err := ReadValues("empty", strings.NewReader("# only comments\n")); err == nil {
+		t.Error("no values accepted")
+	}
+}

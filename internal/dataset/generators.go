@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomRound rounds x up or down to a neighbouring integer, each with
+// probability 1/2, exactly as the paper's dataset construction describes
+// ("random rounding, up or down with probability 1/2"). Integral inputs are
+// returned unchanged. The result is never negative for non-negative input.
+func RandomRound(x float64, rng *rand.Rand) int64 {
+	fl := math.Floor(x)
+	if x == fl {
+		return int64(fl)
+	}
+	v := int64(fl)
+	if rng.Intn(2) == 1 {
+		v++
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// ZipfConfig parameterizes the paper's dataset generator.
+type ZipfConfig struct {
+	// N is the number of attribute values (the paper uses 127).
+	N int
+	// Alpha is the Zipf tail exponent (the paper uses 1.8).
+	Alpha float64
+	// MaxCount scales the head of the distribution: the float frequency of
+	// rank 1 before rounding. The paper does not state its scale; 1000 is
+	// this repository's default (see DefaultPaper).
+	MaxCount float64
+	// Permute shuffles the ranked frequencies across the domain. The paper
+	// does not state an order; ranked (decreasing) is the default.
+	Permute bool
+	// Seed makes the random rounding (and permutation) deterministic.
+	Seed int64
+}
+
+// DefaultPaper returns the configuration reproducing the paper's dataset:
+// 127 integer keys from randomly rounded Zipf(α=1.8) floats.
+func DefaultPaper() ZipfConfig {
+	return ZipfConfig{N: 127, Alpha: 1.8, MaxCount: 1000, Seed: 1}
+}
+
+// Zipf generates the paper's dataset: float frequencies C/rank^α randomly
+// rounded to integers.
+func Zipf(cfg ZipfConfig) (*Distribution, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("dataset: Zipf N must be positive, got %d", cfg.N)
+	}
+	if err := checkFinite("Alpha", cfg.Alpha); err != nil {
+		return nil, err
+	}
+	if err := checkFinite("MaxCount", cfg.MaxCount); err != nil {
+		return nil, err
+	}
+	if cfg.MaxCount < 0 {
+		return nil, fmt.Errorf("dataset: Zipf MaxCount must be non-negative, got %g", cfg.MaxCount)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	counts := make([]int64, cfg.N)
+	for i := range counts {
+		rank := float64(i + 1)
+		counts[i] = RandomRound(cfg.MaxCount/math.Pow(rank, cfg.Alpha), rng)
+	}
+	if cfg.Permute {
+		rng.Shuffle(len(counts), func(i, j int) {
+			counts[i], counts[j] = counts[j], counts[i]
+		})
+	}
+	name := fmt.Sprintf("zipf(n=%d,a=%.2g)", cfg.N, cfg.Alpha)
+	return New(name, counts)
+}
+
+// Uniform generates n counts drawn uniformly from [lo, hi].
+func Uniform(n int, lo, hi int64, seed int64) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: Uniform n must be positive, got %d", n)
+	}
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("dataset: Uniform needs 0 <= lo <= hi, got [%d,%d]", lo, hi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = lo + rng.Int63n(hi-lo+1)
+	}
+	return New(fmt.Sprintf("uniform(n=%d)", n), counts)
+}
+
+// Gauss generates n counts shaped like a (discretized, truncated) Gaussian
+// bump centred mid-domain with the given peak height and relative width
+// sigma (as a fraction of n). Counts are randomly rounded.
+func Gauss(n int, peak float64, sigma float64, seed int64) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: Gauss n must be positive, got %d", n)
+	}
+	if peak < 0 || sigma <= 0 {
+		return nil, fmt.Errorf("dataset: Gauss needs peak >= 0 and sigma > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int64, n)
+	mu := float64(n-1) / 2
+	s := sigma * float64(n)
+	for i := range counts {
+		z := (float64(i) - mu) / s
+		counts[i] = RandomRound(peak*math.Exp(-z*z/2), rng)
+	}
+	return New(fmt.Sprintf("gauss(n=%d)", n), counts)
+}
+
+// MultiModal overlays k Gaussian bumps at evenly spaced centres, a standard
+// hard case for bucket-boundary placement.
+func MultiModal(n, k int, peak float64, seed int64) (*Distribution, error) {
+	if n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("dataset: MultiModal needs positive n and k, got n=%d k=%d", n, k)
+	}
+	if peak < 0 {
+		return nil, fmt.Errorf("dataset: MultiModal needs peak >= 0, got %g", peak)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int64, n)
+	s := float64(n) / float64(4*k)
+	if s < 1 {
+		s = 1
+	}
+	for i := range counts {
+		var v float64
+		for m := 0; m < k; m++ {
+			mu := (float64(m) + 0.5) * float64(n) / float64(k)
+			z := (float64(i) - mu) / s
+			v += peak * math.Exp(-z*z/2)
+		}
+		counts[i] = RandomRound(v, rng)
+	}
+	return New(fmt.Sprintf("multimodal(n=%d,k=%d)", n, k), counts)
+}
+
+// Cusp generates the "cusp" distribution common in histogram papers: counts
+// increase linearly to the middle of the domain and decrease after it, with
+// multiplicative noise.
+func Cusp(n int, peak float64, noise float64, seed int64) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: Cusp n must be positive, got %d", n)
+	}
+	if peak < 0 || noise < 0 {
+		return nil, fmt.Errorf("dataset: Cusp needs peak >= 0 and noise >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int64, n)
+	mid := float64(n-1) / 2
+	for i := range counts {
+		frac := 1 - math.Abs(float64(i)-mid)/math.Max(mid, 1)
+		v := peak * frac * (1 + noise*(rng.Float64()*2-1))
+		if v < 0 {
+			v = 0
+		}
+		counts[i] = RandomRound(v, rng)
+	}
+	return New(fmt.Sprintf("cusp(n=%d)", n), counts)
+}
+
+// SelfSimilar generates an 80/20-style self-similar distribution (the
+// classic b-model): recursively, a fraction h of the mass lands in the
+// first half of each interval. n is rounded up to a power of two and the
+// result truncated back to n.
+func SelfSimilar(n int, total int64, h float64, seed int64) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: SelfSimilar n must be positive, got %d", n)
+	}
+	if total < 0 || h <= 0 || h >= 1 {
+		return nil, fmt.Errorf("dataset: SelfSimilar needs total >= 0 and 0 < h < 1")
+	}
+	pow := 1
+	for pow < n {
+		pow *= 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mass := make([]float64, pow)
+	mass[0] = float64(total)
+	for width := pow; width > 1; width /= 2 {
+		for start := 0; start < pow; start += width {
+			m := mass[start]
+			mass[start] = m * h
+			mass[start+width/2] = m * (1 - h)
+		}
+	}
+	counts := make([]int64, n)
+	for i := range counts {
+		counts[i] = RandomRound(mass[i], rng)
+	}
+	return New(fmt.Sprintf("selfsimilar(n=%d,h=%.2g)", n, h), counts)
+}
+
+// Spikes generates a mostly-zero domain with k uniformly placed spikes of
+// the given height — the worst case for averaging-based buckets.
+func Spikes(n, k int, height int64, seed int64) (*Distribution, error) {
+	if n <= 0 || k <= 0 || k > n {
+		return nil, fmt.Errorf("dataset: Spikes needs 0 < k <= n, got n=%d k=%d", n, k)
+	}
+	if height < 0 {
+		return nil, fmt.Errorf("dataset: Spikes height must be non-negative, got %d", height)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int64, n)
+	perm := rng.Perm(n)
+	for i := 0; i < k; i++ {
+		counts[perm[i]] = height
+	}
+	return New(fmt.Sprintf("spikes(n=%d,k=%d)", n, k), counts)
+}

@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the distribution as "index,count" lines with a comment
+// header carrying the name.
+func (d *Distribution) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dataset: %s\n", d.Name); err != nil {
+		return err
+	}
+	for i, c := range d.Counts {
+		if _, err := fmt.Fprintf(bw, "%d,%d\n", i, c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a distribution written by WriteCSV. Lines may be either
+// "index,count" or bare "count"; indices must be dense and increasing when
+// present. Blank lines are ignored.
+func ReadCSV(r io.Reader) (*Distribution, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	name := "csv"
+	var counts []int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if rest, ok := strings.CutPrefix(text, "# dataset:"); ok {
+				name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		fields := strings.Split(text, ",")
+		var countField string
+		switch len(fields) {
+		case 1:
+			countField = fields[0]
+		case 2:
+			idx, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad index %q: %v", line, fields[0], err)
+			}
+			if idx != len(counts) {
+				return nil, fmt.Errorf("dataset: line %d: index %d out of order (want %d)", line, idx, len(counts))
+			}
+			countField = fields[1]
+		default:
+			return nil, fmt.Errorf("dataset: line %d: want 1 or 2 fields, got %d", line, len(fields))
+		}
+		c, err := strconv.ParseInt(strings.TrimSpace(countField), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad count %q: %v", line, countField, err)
+		}
+		counts = append(counts, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(name, counts)
+}
+
+// jsonDist is the JSON wire form of a Distribution.
+type jsonDist struct {
+	Name   string  `json:"name"`
+	Counts []int64 `json:"counts"`
+}
+
+// WriteJSON writes the distribution as a JSON object.
+func (d *Distribution) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonDist{Name: d.Name, Counts: d.Counts})
+}
+
+// ReadJSON reads a distribution written by WriteJSON.
+func ReadJSON(r io.Reader) (*Distribution, error) {
+	var jd jsonDist
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("dataset: decoding JSON: %w", err)
+	}
+	return New(jd.Name, jd.Counts)
+}
+
+// ReadValues reads raw attribute values, one integer per line (blank
+// lines and #-comments ignored), and builds their distribution via
+// FromValues.
+func ReadValues(name string, r io.Reader) (*Distribution, int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var values []int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dataset: line %d: bad value %q: %v", line, text, err)
+		}
+		values = append(values, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return FromValues(name, values)
+}

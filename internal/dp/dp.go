@@ -1,0 +1,299 @@
+// Package dp implements the polynomial-time histogram construction
+// algorithms of the paper: the O(n²B) dynamic programs for SAP0 and SAP1
+// (optimal, via the decomposition lemma), the A0 heuristic (same DP with
+// the cross term ignored), the POINT-OPT weighted V-optimal baseline, and
+// the classical equi-width / equi-depth / maxdiff heuristics.
+//
+// All of them share one generic interval dynamic program: given a cost
+// function cost(l, r) for making [l,r] a single bucket such that the total
+// objective is the sum of bucket costs, Solve finds the optimal partition
+// of [0,n) into at most B buckets.
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+// CostFunc returns the cost of making the inclusive interval [l,r] a
+// single bucket. It must be non-negative.
+type CostFunc func(l, r int) float64
+
+// Solve finds starts of the partition of [0,n) into at most maxBuckets
+// non-empty contiguous buckets minimizing Σ cost(bucket), by the standard
+// O(n²·B) interval dynamic program.
+func Solve(n, maxBuckets int, cost CostFunc) (starts []int, total float64, err error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("dp: empty domain (n=%d)", n)
+	}
+	if maxBuckets <= 0 {
+		return nil, 0, fmt.Errorf("dp: need at least one bucket, got %d", maxBuckets)
+	}
+	if maxBuckets > n {
+		maxBuckets = n
+	}
+	const inf = math.MaxFloat64
+	// e[k][i]: best cost of covering the first i values with exactly k
+	// buckets; choice[k][i]: the j achieving it (last bucket = [j, i-1]).
+	e := make([][]float64, maxBuckets+1)
+	choice := make([][]int, maxBuckets+1)
+	for k := range e {
+		e[k] = make([]float64, n+1)
+		choice[k] = make([]int, n+1)
+		for i := range e[k] {
+			e[k][i] = inf
+			choice[k][i] = -1
+		}
+	}
+	e[0][0] = 0
+	for k := 1; k <= maxBuckets; k++ {
+		for i := k; i <= n; i++ {
+			best := inf
+			bestJ := -1
+			for j := k - 1; j < i; j++ {
+				if e[k-1][j] == inf {
+					continue
+				}
+				c := e[k-1][j] + cost(j, i-1)
+				if c < best {
+					best, bestJ = c, j
+				}
+			}
+			e[k][i] = best
+			choice[k][i] = bestJ
+		}
+	}
+	bestK, bestCost := 0, inf
+	for k := 1; k <= maxBuckets; k++ {
+		if e[k][n] < bestCost {
+			bestCost, bestK = e[k][n], k
+		}
+	}
+	if bestK == 0 {
+		return nil, 0, fmt.Errorf("dp: no feasible bucketing for n=%d B=%d", n, maxBuckets)
+	}
+	starts = make([]int, bestK)
+	i := n
+	for k := bestK; k >= 1; k-- {
+		j := choice[k][i]
+		starts[k-1] = j
+		i = j
+	}
+	return starts, bestCost, nil
+}
+
+// SAP0 constructs the range-optimal SAP0 histogram (Theorem 6) with at
+// most b buckets: O(n²B) time via the decomposition lemma.
+func SAP0(tab *prefix.Table, b int) (*histogram.SAP0, error) {
+	n := tab.N()
+	cost := func(l, r int) float64 {
+		return tab.IntraCost(l, r) +
+			tab.SuffixVar(l, r)*float64(n-1-r) +
+			tab.PrefixVar(l, r)*float64(l)
+	}
+	starts, _, err := Solve(n, b, cost)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.NewSAP0FromBounds(tab, bk, "SAP0")
+}
+
+// SAP1 constructs the range-optimal SAP1 histogram (Theorem 8) with at
+// most b buckets.
+func SAP1(tab *prefix.Table, b int) (*histogram.SAP1, error) {
+	n := tab.N()
+	cost := func(l, r int) float64 {
+		return tab.IntraCost(l, r) +
+			tab.SuffixRSS(l, r)*float64(n-1-r) +
+			tab.PrefixRSS(l, r)*float64(l)
+	}
+	starts, _, err := Solve(n, b, cost)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.NewSAP1FromBounds(tab, bk, "SAP1")
+}
+
+// A0 constructs the paper's A0 heuristic: the SAP0-style dynamic program
+// over the average-only representation, with the (non-vanishing) cross
+// term of equation (2) ignored. The suffix and prefix deviations of a
+// bucket against the average-based answering both equal Σ e'² over the
+// bucket's local prefix errors (DESIGN.md §3.3), so the per-bucket cost is
+// intra + Σe'²·(n−1−r) + Σe'²·l. The result is a 2B-word average
+// histogram; it is not optimal.
+func A0(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
+	n := tab.N()
+	cost := func(l, r int) float64 {
+		_, _, sumE2 := tab.AvgFit(l, r)
+		return tab.IntraCost(l, r) + sumE2*float64(n-1-r) + sumE2*float64(l)
+	}
+	starts, _, err := Solve(n, b, cost)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.NewAvgFromBounds(tab, bk, mode, "A0")
+}
+
+// PrefixOpt constructs the histogram that is optimal for *prefix* range
+// queries only — queries of the form [0,b]. This is the restricted query
+// class (hierarchical/prefix ranges, the paper's reference [9]) that
+// earlier optimality results covered; the paper's point is that it is not
+// optimal for arbitrary ranges. The error of query [0,b] is the single
+// prefix error e_{b+1}, so the objective Σ_t e_t² is additive over
+// buckets with no cross terms and the plain O(n²B) DP is exact.
+func PrefixOpt(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
+	cost := func(l, r int) float64 {
+		_, _, sumE2 := tab.AvgFit(l, r)
+		return sumE2
+	}
+	starts, _, err := Solve(tab.N(), b, cost)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := histogram.NewBucketing(tab.N(), starts)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.NewAvgFromBounds(tab, bk, mode, "PREFIX-OPT")
+}
+
+// VOpt constructs the classical (unweighted) V-optimal histogram of [6]:
+// bucket boundaries minimizing Σ_i (A[i] − avg(buck(i)))², i.e. optimal
+// for uniform point queries. Provided for ablations.
+func VOpt(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
+	n := tab.N()
+	counts := tab.Counts()
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return weightedVOpt(tab, counts, w, b, mode, "V-OPT")
+}
+
+// PointOpt constructs the paper's POINT-OPT baseline: the V-optimal
+// histogram with per-point probabilities adjusted to the chance that the
+// point is covered by a uniformly random range query, w_i ∝ (i+1)(n−i).
+// The bucket value is the weighted average and the construction minimizes
+// the weighted point-query error — not the range SSE, which is the point
+// of the comparison.
+func PointOpt(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
+	n := tab.N()
+	counts := tab.Counts()
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i+1) * float64(n-i)
+	}
+	return weightedVOpt(tab, counts, w, b, mode, "POINT-OPT")
+}
+
+// weightedVOpt runs the weighted V-optimal DP: bucket value = weighted
+// mean, bucket cost = weighted variance, both O(1) from moment tables.
+func weightedVOpt(tab *prefix.Table, counts []int64, w []float64, b int, mode histogram.Rounding, label string) (*histogram.Avg, error) {
+	n := len(counts)
+	cw := make([]float64, n+1)  // Σ w
+	cwa := make([]float64, n+1) // Σ w·A
+	cwa2 := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		a := float64(counts[i])
+		cw[i+1] = cw[i] + w[i]
+		cwa[i+1] = cwa[i] + w[i]*a
+		cwa2[i+1] = cwa2[i] + w[i]*a*a
+	}
+	cost := func(l, r int) float64 {
+		sw := cw[r+1] - cw[l]
+		swa := cwa[r+1] - cwa[l]
+		swa2 := cwa2[r+1] - cwa2[l]
+		if sw == 0 {
+			return 0
+		}
+		c := swa2 - swa*swa/sw
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	starts, _, err := Solve(n, b, cost)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, bk.NumBuckets())
+	for i := range values {
+		lo, hi := bk.Bounds(i)
+		sw := cw[hi+1] - cw[lo]
+		swa := cwa[hi+1] - cwa[lo]
+		if sw == 0 {
+			values[i] = tab.Avg(lo, hi)
+		} else {
+			values[i] = swa / sw
+		}
+	}
+	return histogram.NewAvg(bk, values, mode, label)
+}
+
+// EquiWidthHist returns the equi-width average histogram baseline.
+func EquiWidthHist(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
+	bk, err := histogram.EquiWidth(tab.N(), b)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.NewAvgFromBounds(tab, bk, mode, "EQUI-WIDTH")
+}
+
+// EquiDepthHist returns the equi-depth average histogram baseline.
+func EquiDepthHist(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
+	bk, err := histogram.EquiDepth(tab, b)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.NewAvgFromBounds(tab, bk, mode, "EQUI-DEPTH")
+}
+
+// MaxDiffHist returns the maxdiff average histogram baseline.
+func MaxDiffHist(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
+	bk, err := histogram.MaxDiff(tab.Counts(), b)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.NewAvgFromBounds(tab, bk, mode, "MAXDIFF")
+}
+
+// SAP2 constructs the range-optimal SAP2 histogram — the quadratic-model
+// member of the paper's §2.2.2 family — with at most b buckets, by the
+// same decomposition-lemma dynamic program (quadratic LS residuals sum to
+// zero, so the cross terms still vanish).
+func SAP2(tab *prefix.Table, b int) (*histogram.SAP2, error) {
+	n := tab.N()
+	cost := func(l, r int) float64 {
+		return tab.IntraCost(l, r) +
+			tab.SuffixQuadRSS(l, r)*float64(n-1-r) +
+			tab.PrefixQuadRSS(l, r)*float64(l)
+	}
+	starts, _, err := Solve(n, b, cost)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		return nil, err
+	}
+	return histogram.NewSAP2FromBounds(tab, bk, "SAP2")
+}

@@ -1,0 +1,446 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/sse"
+)
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-8*scale
+}
+
+func randCounts(rng *rand.Rand, n int) []int64 {
+	c := make([]int64, n)
+	for i := range c {
+		c[i] = rng.Int63n(50)
+	}
+	return c
+}
+
+// enumerateBucketings calls fn with every partition of [0,n) into at most
+// b non-empty contiguous buckets.
+func enumerateBucketings(n, b int, fn func(starts []int)) {
+	var rec func(starts []int, next int)
+	rec = func(starts []int, next int) {
+		fn(starts)
+		if len(starts) >= b {
+			return
+		}
+		for pos := next; pos < n; pos++ {
+			rec(append(starts, pos), pos+1)
+		}
+	}
+	rec([]int{0}, 1)
+}
+
+func TestSolveMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		b := 1 + rng.Intn(4)
+		// Random additive cost table.
+		costTable := make([][]float64, n)
+		for l := range costTable {
+			costTable[l] = make([]float64, n)
+			for r := l; r < n; r++ {
+				costTable[l][r] = rng.Float64() * 100
+			}
+		}
+		cost := func(l, r int) float64 { return costTable[l][r] }
+		_, got, err := Solve(n, b, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.MaxFloat64
+		enumerateBucketings(n, b, func(starts []int) {
+			var total float64
+			for i, s := range starts {
+				e := n - 1
+				if i+1 < len(starts) {
+					e = starts[i+1] - 1
+				}
+				total += cost(s, e)
+			}
+			if total < best {
+				best = total
+			}
+		})
+		if !approxEq(got, best) {
+			t.Fatalf("trial %d: Solve=%g exhaustive=%g", trial, got, best)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	cost := func(l, r int) float64 { return 0 }
+	if _, _, err := Solve(0, 3, cost); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, _, err := Solve(5, 0, cost); err == nil {
+		t.Error("B=0 should fail")
+	}
+	// B > n collapses to B = n.
+	starts, _, err := Solve(3, 10, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) > 3 {
+		t.Errorf("starts = %v, want at most 3 buckets", starts)
+	}
+}
+
+// TestSAP0DPIsOptimal verifies Theorem 6: the DP's histogram achieves the
+// minimum true range-SSE over all bucketings with at most B buckets.
+func TestSAP0DPIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + rng.Intn(6)
+		b := 2 + rng.Intn(2)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		h, err := SAP0(tab, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sse.Brute(tab, h)
+		best := math.MaxFloat64
+		enumerateBucketings(n, b, func(starts []int) {
+			bk, err := histogram.NewBucketing(n, append([]int(nil), starts...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cand, err := histogram.NewSAP0FromBounds(tab, bk, "SAP0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := sse.Brute(tab, cand); v < best {
+				best = v
+			}
+		})
+		if got > best+1e-6*(1+best) {
+			t.Fatalf("trial %d: DP SSE %g > exhaustive optimum %g", trial, got, best)
+		}
+	}
+}
+
+// TestSAP1DPIsOptimal verifies Theorem 8 analogously.
+func TestSAP1DPIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(5)
+		b := 2 + rng.Intn(2)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		h, err := SAP1(tab, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sse.Brute(tab, h)
+		best := math.MaxFloat64
+		enumerateBucketings(n, b, func(starts []int) {
+			bk, err := histogram.NewBucketing(n, append([]int(nil), starts...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cand, err := histogram.NewSAP1FromBounds(tab, bk, "SAP1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := sse.Brute(tab, cand); v < best {
+				best = v
+			}
+		})
+		if got > best+1e-6*(1+best) {
+			t.Fatalf("trial %d: DP SSE %g > exhaustive optimum %g", trial, got, best)
+		}
+	}
+}
+
+// TestSAP1BeatsAvgAtFixedBoundaries verifies the paper's §2.2.2 claim: for
+// the same bucket boundaries, the optimal SAP1 summaries give SSE no worse
+// than the plain average histogram (which is a feasible SAP1 summary).
+func TestSAP1BeatsAvgAtFixedBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(20)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		// Random bucketing.
+		starts := []int{0}
+		for pos := 1; pos < n; pos++ {
+			if rng.Intn(4) == 0 {
+				starts = append(starts, pos)
+			}
+		}
+		bk, err := histogram.NewBucketing(n, starts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avgH, err := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "OPT-A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sap1H, err := histogram.NewSAP1FromBounds(tab, bk, "SAP1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := sse.Brute(tab, avgH)
+		s := sse.Brute(tab, sap1H)
+		if s > a+1e-6*(1+a) {
+			t.Fatalf("trial %d: SAP1 SSE %g > OPT-A SSE %g at same boundaries", trial, s, a)
+		}
+	}
+}
+
+func TestA0Builds(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	counts := randCounts(rng, 40)
+	tab := prefix.NewTable(counts)
+	h, err := A0(tab, 6, histogram.RoundNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "A0" {
+		t.Errorf("name = %q", h.Name())
+	}
+	if h.Buckets.NumBuckets() > 6 {
+		t.Errorf("buckets = %d > 6", h.Buckets.NumBuckets())
+	}
+	// A0's values are the true bucket averages.
+	for i := 0; i < h.Buckets.NumBuckets(); i++ {
+		lo, hi := h.Buckets.Bounds(i)
+		if !approxEq(h.Values[i], tab.Avg(lo, hi)) {
+			t.Errorf("bucket %d value %g != avg %g", i, h.Values[i], tab.Avg(lo, hi))
+		}
+	}
+}
+
+// TestA0NearOptimalOnSmall checks A0 lands close to (but not necessarily
+// at) the best average-histogram bucketing — it ignores the cross term, so
+// exact optimality is not guaranteed, but on small inputs it should be
+// within a small factor.
+func TestA0NearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	n, b := 10, 3
+	counts := randCounts(rng, n)
+	tab := prefix.NewTable(counts)
+	h, err := A0(tab, b, histogram.RoundNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sse.Brute(tab, h)
+	best := math.MaxFloat64
+	enumerateBucketings(n, b, func(starts []int) {
+		bk, _ := histogram.NewBucketing(n, append([]int(nil), starts...))
+		cand, _ := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "x")
+		if v := sse.Brute(tab, cand); v < best {
+			best = v
+		}
+	})
+	if got > 4*best+1e-9 {
+		t.Fatalf("A0 SSE %g more than 4× optimum %g", got, best)
+	}
+}
+
+func TestVOptMinimizesPointError(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	n, b := 10, 3
+	counts := randCounts(rng, n)
+	tab := prefix.NewTable(counts)
+	h, err := VOpt(tab, b, histogram.RoundNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointErr := func(bk *histogram.Bucketing) float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			idx := bk.Find(i)
+			lo, hi := bk.Bounds(idx)
+			d := float64(counts[i]) - tab.Avg(lo, hi)
+			s += d * d
+		}
+		return s
+	}
+	got := pointErr(h.Buckets)
+	best := math.MaxFloat64
+	enumerateBucketings(n, b, func(starts []int) {
+		bk, _ := histogram.NewBucketing(n, append([]int(nil), starts...))
+		if v := pointErr(bk); v < best {
+			best = v
+		}
+	})
+	if !approxEq(got, best) && got > best {
+		t.Fatalf("VOpt point error %g > optimum %g", got, best)
+	}
+}
+
+func TestPointOptMinimizesWeightedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	n, b := 9, 3
+	counts := randCounts(rng, n)
+	tab := prefix.NewTable(counts)
+	h, err := PointOpt(tab, b, histogram.RoundNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := func(i int) float64 { return float64(i+1) * float64(n-i) }
+	weightedErr := func(bk *histogram.Bucketing, values []float64) float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			d := float64(counts[i]) - values[bk.Find(i)]
+			s += w(i) * d * d
+		}
+		return s
+	}
+	got := weightedErr(h.Buckets, h.Values)
+	best := math.MaxFloat64
+	enumerateBucketings(n, b, func(starts []int) {
+		bk, _ := histogram.NewBucketing(n, append([]int(nil), starts...))
+		// Optimal values for fixed boundaries are the weighted means.
+		values := make([]float64, bk.NumBuckets())
+		for i := range values {
+			lo, hi := bk.Bounds(i)
+			var sw, swa float64
+			for j := lo; j <= hi; j++ {
+				sw += w(j)
+				swa += w(j) * float64(counts[j])
+			}
+			values[i] = swa / sw
+		}
+		if v := weightedErr(bk, values); v < best {
+			best = v
+		}
+	})
+	if got > best+1e-6*(1+best) {
+		t.Fatalf("PointOpt weighted error %g > optimum %g", got, best)
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	counts := randCounts(rng, 30)
+	tab := prefix.NewTable(counts)
+	for _, build := range []func(*prefix.Table, int, histogram.Rounding) (*histogram.Avg, error){
+		EquiWidthHist, EquiDepthHist, MaxDiffHist,
+	} {
+		h, err := build(tab, 5, histogram.RoundNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Buckets.NumBuckets() > 5 {
+			t.Errorf("%s: %d buckets > 5", h.Name(), h.Buckets.NumBuckets())
+		}
+		// Whole-domain query is exact for true-average histograms.
+		if got, want := h.Estimate(0, 29), tab.SumF(0, 29); !approxEq(got, want) {
+			t.Errorf("%s: full-range estimate %g, want %g", h.Name(), got, want)
+		}
+	}
+}
+
+func TestConstructorsRejectBadB(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3})
+	if _, err := SAP0(tab, 0); err == nil {
+		t.Error("SAP0 B=0 should fail")
+	}
+	if _, err := SAP1(tab, -1); err == nil {
+		t.Error("SAP1 B<0 should fail")
+	}
+	if _, err := A0(tab, 0, histogram.RoundNone); err == nil {
+		t.Error("A0 B=0 should fail")
+	}
+	if _, err := PointOpt(tab, 0, histogram.RoundNone); err == nil {
+		t.Error("PointOpt B=0 should fail")
+	}
+}
+
+// TestSAP0CostEqualsSSE cross-checks that the DP objective equals the true
+// SSE of the produced histogram (the decomposition lemma end to end).
+func TestSAP0CostEqualsSSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	counts := randCounts(rng, 30)
+	tab := prefix.NewTable(counts)
+	n := tab.N()
+	cost := func(l, r int) float64 {
+		return tab.IntraCost(l, r) +
+			tab.SuffixVar(l, r)*float64(n-1-r) +
+			tab.PrefixVar(l, r)*float64(l)
+	}
+	starts, total, err := Solve(n, 5, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, _ := histogram.NewBucketing(n, starts)
+	h, _ := histogram.NewSAP0FromBounds(tab, bk, "SAP0")
+	if got := sse.Brute(tab, h); !approxEq(got, total) {
+		t.Fatalf("DP objective %g != true SSE %g", total, got)
+	}
+}
+
+// TestSAP2DPIsOptimal: the quadratic-model DP is exact for its
+// representation, like SAP0/SAP1.
+func TestSAP2DPIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	for trial := 0; trial < 5; trial++ {
+		n := 6 + rng.Intn(5)
+		b := 2
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		h, err := SAP2(tab, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sse.Brute(tab, h)
+		best := math.MaxFloat64
+		enumerateBucketings(n, b, func(starts []int) {
+			bk, _ := histogram.NewBucketing(n, append([]int(nil), starts...))
+			cand, err := histogram.NewSAP2FromBounds(tab, bk, "SAP2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := sse.Brute(tab, cand); v < best {
+				best = v
+			}
+		})
+		if got > best+1e-6*(1+best) {
+			t.Fatalf("trial %d: DP SSE %g > exhaustive optimum %g (counts=%v)", trial, got, best, counts)
+		}
+	}
+}
+
+// TestSAP2BeatsSAP1AtFixedBoundaries: the quadratic summary family
+// contains the linear one.
+func TestSAP2BeatsSAP1AtFixedBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(20)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		starts := []int{0}
+		for pos := 1; pos < n; pos++ {
+			if rng.Intn(5) == 0 {
+				starts = append(starts, pos)
+			}
+		}
+		bk, _ := histogram.NewBucketing(n, starts)
+		h1, err := histogram.NewSAP1FromBounds(tab, bk, "SAP1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := histogram.NewSAP2FromBounds(tab, bk, "SAP2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1 := sse.Brute(tab, h1)
+		s2 := sse.Brute(tab, h2)
+		if s2 > s1+1e-6*(1+s1) {
+			t.Fatalf("trial %d: SAP2 SSE %g > SAP1 SSE %g at same boundaries", trial, s2, s1)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package dp
+
+import (
+	"fmt"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+// ImproveBoundaries applies the local-search improvement the paper's §4
+// mentions ("heuristics and local search improvements"): coordinate
+// descent on the bucket boundaries of an average histogram under the
+// unrounded range SSE. Each pass moves every interior boundary to its
+// best position between its neighbouring boundaries (all candidates
+// scored with the O(n) prefix-identity evaluator); passes repeat until no
+// boundary moves or maxPasses is reached. The result's values are the
+// true bucket averages for the final boundaries.
+//
+// It returns the improved histogram and the number of passes that made a
+// change. The SSE never increases.
+func ImproveBoundaries(tab *prefix.Table, h *histogram.Avg, maxPasses int) (*histogram.Avg, int, error) {
+	if h.N() != tab.N() {
+		return nil, 0, fmt.Errorf("dp: histogram n=%d does not match data n=%d", h.N(), tab.N())
+	}
+	if maxPasses <= 0 {
+		maxPasses = 8
+	}
+	n := tab.N()
+	starts := append([]int(nil), h.Buckets.Starts...)
+	nb := len(starts)
+	best := avgSSEForStarts(tab, starts)
+	passes := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := 1; i < nb; i++ {
+			lo := starts[i-1] + 1
+			hi := n - 1
+			if i+1 < nb {
+				hi = starts[i+1] - 1
+			}
+			bestPos, bestVal := starts[i], best
+			orig := starts[i]
+			for pos := lo; pos <= hi; pos++ {
+				if pos == orig {
+					continue
+				}
+				starts[i] = pos
+				if v := avgSSEForStarts(tab, starts); v < bestVal {
+					bestVal, bestPos = v, pos
+				}
+			}
+			starts[i] = bestPos
+			if bestPos != orig {
+				best = bestVal
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+		passes++
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		return nil, passes, err
+	}
+	out, err := histogram.NewAvgFromBounds(tab, bk, h.Mode, h.Label+"-ls")
+	if err != nil {
+		return nil, passes, err
+	}
+	return out, passes, nil
+}
+
+// avgSSEForStarts evaluates the unrounded range SSE of the average
+// histogram with the given starts in O(n) via the prefix-error identity,
+// without building a histogram object.
+func avgSSEForStarts(tab *prefix.Table, starts []int) float64 {
+	n := tab.N()
+	var sumE, sumE2 float64
+	for bi := 0; bi < len(starts); bi++ {
+		lo := starts[bi]
+		hi := n - 1
+		if bi+1 < len(starts) {
+			hi = starts[bi+1] - 1
+		}
+		_, e, e2 := tab.AvgFit(lo, hi)
+		// AvgFit sums over the window [lo, hi+1]; its endpoints are zero,
+		// and adjacent buckets share exactly one zero endpoint, so plain
+		// accumulation double-counts nothing.
+		sumE += e
+		sumE2 += e2
+	}
+	N := float64(n + 1)
+	sse := N*sumE2 - sumE*sumE
+	if sse < 0 {
+		sse = 0
+	}
+	return sse
+}

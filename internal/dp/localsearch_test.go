@@ -1,0 +1,99 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/sse"
+)
+
+func TestAvgSSEForStartsMatchesEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(25)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		starts := []int{0}
+		for pos := 1; pos < n; pos++ {
+			if rng.Intn(4) == 0 {
+				starts = append(starts, pos)
+			}
+		}
+		bk, _ := histogram.NewBucketing(n, starts)
+		h, _ := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "x")
+		want := sse.Of(tab, h)
+		got := avgSSEForStarts(tab, starts)
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("trial %d: fast %g, evaluator %g", trial, got, want)
+		}
+	}
+}
+
+func TestImproveBoundariesNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	for trial := 0; trial < 15; trial++ {
+		n := 12 + rng.Intn(30)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		h, err := EquiWidthHist(tab, 2+rng.Intn(5), histogram.RoundNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, _, err := ImproveBoundaries(tab, h, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := sse.Of(tab, h)
+		after := sse.Of(tab, improved)
+		if after > before+1e-8*(1+before) {
+			t.Fatalf("trial %d: local search worsened %g → %g", trial, before, after)
+		}
+	}
+}
+
+func TestImproveBoundariesReachesGoodSolutions(t *testing.T) {
+	// On the skewed Zipf shape, equi-width is terrible; local search from
+	// it should close most of the gap to A0.
+	counts := make([]int64, 64)
+	for i := range counts {
+		counts[i] = int64(2000 / (i + 1))
+	}
+	tab := prefix.NewTable(counts)
+	ew, _ := EquiWidthHist(tab, 8, histogram.RoundNone)
+	improved, passes, err := ImproveBoundaries(tab, ew, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes == 0 {
+		t.Fatal("no passes changed anything on a clearly improvable start")
+	}
+	a0, _ := A0(tab, 8, histogram.RoundNone)
+	ewSSE := sse.Of(tab, ew)
+	lsSSE := sse.Of(tab, improved)
+	a0SSE := sse.Of(tab, a0)
+	if lsSSE > ewSSE/2 {
+		t.Errorf("local search improved too little: %g → %g", ewSSE, lsSSE)
+	}
+	if lsSSE > 10*a0SSE {
+		t.Errorf("local search SSE %g still ≫ A0 %g", lsSSE, a0SSE)
+	}
+	t.Logf("equi-width %.3g → local search %.3g (A0 %.3g)", ewSSE, lsSSE, a0SSE)
+}
+
+func TestImproveBoundariesValidation(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3})
+	other := prefix.NewTable([]int64{1, 2})
+	h, _ := EquiWidthHist(other, 2, histogram.RoundNone)
+	if _, _, err := ImproveBoundaries(tab, h, 3); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+	// Single bucket: nothing to move, no error.
+	one, _ := EquiWidthHist(tab, 1, histogram.RoundNone)
+	out, passes, err := ImproveBoundaries(tab, one, 3)
+	if err != nil || passes != 0 || out.Buckets.NumBuckets() != 1 {
+		t.Errorf("single-bucket case: passes=%d err=%v", passes, err)
+	}
+}

@@ -1,0 +1,400 @@
+// Package engine is the approximate-query-processing substrate the paper
+// assumes around its algorithms: an in-memory single-column store that
+// ingests records, maintains the attribute-value distribution, builds and
+// serves named synopses under word budgets, and answers exact and
+// approximate COUNT and SUM range queries with per-synopsis staleness and
+// error accounting.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/sse"
+)
+
+// Metric selects what a synopsis summarizes.
+type Metric int
+
+const (
+	// Count summarizes the number of records per attribute value; range
+	// queries are COUNT(*) WHERE attr BETWEEN a AND b.
+	Count Metric = iota
+	// Sum summarizes Σ attr per value (value × frequency); range queries
+	// are SUM(attr) WHERE attr BETWEEN a AND b.
+	Sum
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	if m == Sum {
+		return "SUM"
+	}
+	return "COUNT"
+}
+
+// Engine is a single-column store over the integer domain [0, domain).
+type Engine struct {
+	mu      sync.RWMutex
+	name    string
+	domain  int
+	counts  []int64
+	records int64
+	version int64 // bumped on every mutation
+
+	// autoRefresh, when positive, rebuilds a synopsis before answering if
+	// more than this many mutations happened since it was built.
+	autoRefresh int64
+
+	synopses map[string]*Synopsis
+}
+
+// Synopsis is a built summary registered under a name.
+type Synopsis struct {
+	Name string
+	// Metric the synopsis answers.
+	Metric Metric
+	// Options used to build it.
+	Options build.Options
+	// Est is the underlying estimator.
+	Est build.Estimator
+	// Version of the engine data when built; staleness is the number of
+	// mutations since.
+	Version int64
+}
+
+// New creates an engine for attribute values in [0, domain).
+func New(name string, domain int) (*Engine, error) {
+	if domain <= 0 {
+		return nil, fmt.Errorf("engine: domain must be positive, got %d", domain)
+	}
+	return &Engine{
+		name:     name,
+		domain:   domain,
+		counts:   make([]int64, domain),
+		synopses: make(map[string]*Synopsis),
+	}, nil
+}
+
+// Load bulk-inserts a whole distribution (counts per value).
+func (e *Engine) Load(counts []int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(counts) != e.domain {
+		return fmt.Errorf("engine: load of %d values into domain %d", len(counts), e.domain)
+	}
+	for v, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("engine: negative count %d at value %d", c, v)
+		}
+		e.counts[v] += c
+		e.records += c
+	}
+	e.version++
+	return nil
+}
+
+// Insert adds occurrences records with the given attribute value.
+func (e *Engine) Insert(value int, occurrences int64) error {
+	if occurrences <= 0 {
+		return fmt.Errorf("engine: occurrences must be positive, got %d", occurrences)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if value < 0 || value >= e.domain {
+		return fmt.Errorf("engine: value %d outside domain [0,%d)", value, e.domain)
+	}
+	e.counts[value] += occurrences
+	e.records += occurrences
+	e.version++
+	return nil
+}
+
+// Delete removes occurrences records with the given attribute value.
+func (e *Engine) Delete(value int, occurrences int64) error {
+	if occurrences <= 0 {
+		return fmt.Errorf("engine: occurrences must be positive, got %d", occurrences)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if value < 0 || value >= e.domain {
+		return fmt.Errorf("engine: value %d outside domain [0,%d)", value, e.domain)
+	}
+	if e.counts[value] < occurrences {
+		return fmt.Errorf("engine: cannot delete %d of value %d (only %d present)",
+			occurrences, value, e.counts[value])
+	}
+	e.counts[value] -= occurrences
+	e.records -= occurrences
+	e.version++
+	return nil
+}
+
+// Name returns the engine's name.
+func (e *Engine) Name() string { return e.name }
+
+// Domain returns the attribute domain size.
+func (e *Engine) Domain() int { return e.domain }
+
+// Records returns the total number of records.
+func (e *Engine) Records() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.records
+}
+
+// Counts returns a copy of the current distribution.
+func (e *Engine) Counts() []int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]int64, len(e.counts))
+	copy(out, e.counts)
+	return out
+}
+
+// metricCounts derives the per-value series a synopsis of the metric
+// summarizes. Callers hold the lock.
+func (e *Engine) metricCounts(m Metric) []int64 {
+	out := make([]int64, len(e.counts))
+	switch m {
+	case Sum:
+		for v, c := range e.counts {
+			out[v] = int64(v) * c
+		}
+	default:
+		copy(out, e.counts)
+	}
+	return out
+}
+
+// ExactCount answers COUNT(*) WHERE a ≤ attr ≤ b exactly. The range is
+// clamped to the domain; an inverted or fully-outside range counts zero.
+func (e *Engine) ExactCount(a, b int) int64 {
+	return e.exact(Count, a, b)
+}
+
+// ExactSum answers SUM(attr) WHERE a ≤ attr ≤ b exactly.
+func (e *Engine) ExactSum(a, b int) int64 {
+	return e.exact(Sum, a, b)
+}
+
+func (e *Engine) exact(m Metric, a, b int) int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	a, b, ok := clamp(a, b, e.domain)
+	if !ok {
+		return 0
+	}
+	var s int64
+	for v := a; v <= b; v++ {
+		if m == Sum {
+			s += int64(v) * e.counts[v]
+		} else {
+			s += e.counts[v]
+		}
+	}
+	return s
+}
+
+func clamp(a, b, domain int) (int, int, bool) {
+	if a < 0 {
+		a = 0
+	}
+	if b >= domain {
+		b = domain - 1
+	}
+	if a > b {
+		return 0, 0, false
+	}
+	return a, b, true
+}
+
+// BuildSynopsis constructs and registers a synopsis under the given name,
+// replacing any previous one with that name.
+func (e *Engine) BuildSynopsis(name string, metric Metric, opt build.Options) (*Synopsis, error) {
+	e.mu.Lock()
+	counts := e.metricCounts(metric)
+	version := e.version
+	e.mu.Unlock()
+
+	est, err := build.Build(counts, opt)
+	if err != nil {
+		return nil, fmt.Errorf("engine: building synopsis %q: %w", name, err)
+	}
+	s := &Synopsis{Name: name, Metric: metric, Options: opt, Est: est, Version: version}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.synopses[name] = s
+	return s, nil
+}
+
+// DropSynopsis removes a named synopsis; it reports whether it existed.
+func (e *Engine) DropSynopsis(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.synopses[name]
+	delete(e.synopses, name)
+	return ok
+}
+
+// Synopsis returns a registered synopsis by name.
+func (e *Engine) Synopsis(name string) (*Synopsis, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s, ok := e.synopses[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no synopsis named %q", name)
+	}
+	return s, nil
+}
+
+// Synopses lists the registered synopses sorted by name.
+func (e *Engine) Synopses() []*Synopsis {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Synopsis, 0, len(e.synopses))
+	for _, s := range e.synopses {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stale reports how many mutations have happened since the synopsis was
+// built.
+func (e *Engine) Stale(s *Synopsis) int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version - s.Version
+}
+
+// SetAutoRefresh enables the maintenance policy: a synopsis more than
+// threshold mutations stale is rebuilt synchronously before answering.
+// threshold ≤ 0 disables the policy (the default).
+func (e *Engine) SetAutoRefresh(threshold int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.autoRefresh = threshold
+}
+
+// Approx answers a range query from a named synopsis, applying the
+// auto-refresh maintenance policy if enabled. The range is clamped; a
+// fully-outside range returns 0.
+func (e *Engine) Approx(name string, a, b int) (float64, error) {
+	s, err := e.Synopsis(name)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	threshold := e.autoRefresh
+	stale := e.version - s.Version
+	e.mu.RUnlock()
+	if threshold > 0 && stale > threshold {
+		// Rebuild from current data; a concurrent refresh of the same
+		// synopsis is harmless (last build wins, both are fresh).
+		if s, err = e.BuildSynopsis(s.Name, s.Metric, s.Options); err != nil {
+			return 0, fmt.Errorf("engine: auto-refresh of %q: %w", name, err)
+		}
+	}
+	a, b, ok := clamp(a, b, e.domain)
+	if !ok {
+		return 0, nil
+	}
+	return s.Est.Estimate(a, b), nil
+}
+
+// Refresh rebuilds a registered synopsis from the current data with its
+// original options.
+func (e *Engine) Refresh(name string) (*Synopsis, error) {
+	s, err := e.Synopsis(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.BuildSynopsis(s.Name, s.Metric, s.Options)
+}
+
+// Report aggregates a synopsis's error over a workload of ranges against
+// the current exact data.
+func (e *Engine) Report(name string, queries []sse.Range) (sse.Metrics, error) {
+	s, err := e.Synopsis(name)
+	if err != nil {
+		return sse.Metrics{}, err
+	}
+	e.mu.RLock()
+	tab := prefix.NewTable(e.metricCounts(s.Metric))
+	e.mu.RUnlock()
+	return sse.Evaluate(tab, s.Est, queries), nil
+}
+
+// SSE returns the exact sum-squared error of a synopsis over all ranges
+// of the current data.
+func (e *Engine) SSE(name string) (float64, error) {
+	s, err := e.Synopsis(name)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	tab := prefix.NewTable(e.metricCounts(s.Metric))
+	e.mu.RUnlock()
+	return sse.Of(tab, s.Est), nil
+}
+
+// ProgressiveStep is one state of an online-refined answer.
+type ProgressiveStep struct {
+	// Scanned is how many values of the range have been read exactly.
+	Scanned int
+	// Of is the range width.
+	Of int
+	// Estimate is the blended answer at this point: exact mass over the
+	// scanned prefix plus the synopsis estimate of the rest.
+	Estimate float64
+}
+
+// Progressive answers a COUNT or SUM range query in the online-aggregation
+// style the paper's introduction motivates: the first step is the pure
+// synopsis estimate, each later step replaces more of it with exactly
+// scanned data, and the final step is exact. It returns one step per
+// chunk (at most chunks+1 and at least 2 for a non-empty range).
+func (e *Engine) Progressive(name string, a, b, chunks int) ([]ProgressiveStep, error) {
+	s, err := e.Synopsis(name)
+	if err != nil {
+		return nil, err
+	}
+	if chunks <= 0 {
+		chunks = 10
+	}
+	a, b, ok := clamp(a, b, e.domain)
+	if !ok {
+		return []ProgressiveStep{{Scanned: 0, Of: 0, Estimate: 0}}, nil
+	}
+	e.mu.RLock()
+	counts := e.metricCounts(s.Metric)
+	e.mu.RUnlock()
+
+	width := b - a + 1
+	chunk := (width + chunks - 1) / chunks
+	steps := make([]ProgressiveStep, 0, chunks+1)
+	steps = append(steps, ProgressiveStep{Scanned: 0, Of: width, Estimate: s.Est.Estimate(a, b)})
+	var exact float64
+	pos := a
+	for pos <= b {
+		end := pos + chunk - 1
+		if end > b {
+			end = b
+		}
+		for i := pos; i <= end; i++ {
+			exact += float64(counts[i])
+		}
+		est := exact
+		if end < b {
+			est += s.Est.Estimate(end+1, b)
+		}
+		steps = append(steps, ProgressiveStep{Scanned: end - a + 1, Of: width, Estimate: est})
+		pos = end + 1
+	}
+	return steps, nil
+}

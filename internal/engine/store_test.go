@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rangeagg/internal/build"
+)
+
+func TestStoreColumnLifecycle(t *testing.T) {
+	s := NewStore("warehouse")
+	if s.Name() != "warehouse" {
+		t.Errorf("name = %q", s.Name())
+	}
+	a, err := s.CreateColumn("amount", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateColumn("amount", 16); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := s.CreateColumn("bad", 0); err == nil {
+		t.Error("zero-domain column accepted")
+	}
+	if _, err := s.CreateColumn("age", 8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Column("amount")
+	if err != nil || got != a {
+		t.Fatalf("Column lookup: %v %v", got, err)
+	}
+	if _, err := s.Column("missing"); err == nil {
+		t.Error("missing column lookup succeeded")
+	}
+	cols := s.Columns()
+	if len(cols) != 2 || cols[0] != "age" || cols[1] != "amount" {
+		t.Errorf("Columns = %v", cols)
+	}
+	if !s.DropColumn("age") || s.DropColumn("age") {
+		t.Error("drop semantics wrong")
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore("warehouse")
+	amount, err := s.CreateColumn("amount", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 32)
+	for i := range counts {
+		counts[i] = int64(200 / (i + 1))
+	}
+	if err := amount.Load(counts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := amount.BuildSynopsis("h", Count, build.Options{Method: build.A0, BudgetWords: 12, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := amount.BuildSynopsis("s", Sum, build.Options{Method: build.SAP0, BudgetWords: 12, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	age, err := s.CreateColumn("age", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := age.Insert(3, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Name() != "warehouse" || len(restored.Columns()) != 2 {
+		t.Fatalf("restored: %s %v", restored.Name(), restored.Columns())
+	}
+	ra, err := restored.Column("amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Records() != amount.Records() {
+		t.Errorf("records %d, want %d", ra.Records(), amount.Records())
+	}
+	// Rebuilt synopses answer identically (deterministic construction).
+	for _, name := range []string{"h", "s"} {
+		want, err := amount.Approx(name, 2, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ra.Approx(name, 2, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("synopsis %q: %g, want %g", name, got, want)
+		}
+	}
+	rage, _ := restored.Column("age")
+	if rage.ExactCount(3, 3) != 100 {
+		t.Error("age column data lost")
+	}
+}
+
+func TestLoadStoreRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{broken`,
+		`{"name":"x","columns":[{"name":"c","domain":4,"counts":[1,2]}]}`,                                                              // count/domain mismatch
+		`{"name":"x","columns":[{"name":"c","domain":0,"counts":[]}]}`,                                                                 // bad domain
+		`{"name":"x","columns":[{"name":"c","domain":2,"counts":[1,-2]}]}`,                                                             // negative
+		`{"name":"x","columns":[{"name":"c","domain":2,"counts":[1,2],"synopses":[{"name":"s","metric":0,"options":{"Method":99}}]}]}`, // bad method
+	}
+	for _, c := range cases {
+		if _, err := LoadStore(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,639 @@
+// Package experiments regenerates every figure, table and quantified
+// in-text claim of the paper's evaluation (§4), plus the ablations listed
+// in DESIGN.md §6. Each experiment returns a Table that cmd/synbench
+// prints and EXPERIMENTS.md records; bench_test.go at the repository root
+// wraps each one in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/core"
+	"rangeagg/internal/dataset"
+	"rangeagg/internal/grid"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/reopt"
+	"rangeagg/internal/sse"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Data is the attribute-value distribution; nil selects the paper's
+	// dataset (127 randomly rounded Zipf(1.8) keys).
+	Data *dataset.Distribution
+	// Budgets are the storage budgets (words) of the sweep; nil selects
+	// the default 8..64 sweep matching Figure 1's x-axis range.
+	Budgets []int
+	// Seed drives randomized steps.
+	Seed int64
+	// MaxStates bounds the exact OPT-A DP per layer (0 = default).
+	MaxStates int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Data == nil {
+		d, err := dataset.Zipf(dataset.DefaultPaper())
+		if err != nil {
+			return c, err
+		}
+		c.Data = d
+	}
+	if len(c.Budgets) == 0 {
+		// The sweep covers Figure 1's x-axis range and extends far enough
+		// that the 5-words-per-bucket SAP1 histogram has a meaningful
+		// number of buckets at the top end.
+		c.Budgets = []int{8, 12, 16, 24, 32, 48, 64, 96, 128}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one labelled series of values.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	width := 14
+	fmt.Fprintf(&b, "%-18s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*s", width, formatVal(v))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func formatVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1e6 || (v != 0 && math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// roundingFor selects each method's answering procedure as the paper
+// defines it: the average-histogram family answers with the integrally
+// rounded equation (1) — the estimator the exact OPT-A dynamic program
+// optimizes and the reason its Λ state space is integral — while SAP0,
+// SAP1 and the wavelets answer with real values ("in contrast with OPT-A,
+// the above value is not necessarily an integer", §2.2.1).
+func roundingFor(m build.Method) histogram.Rounding {
+	switch m {
+	case build.Naive, build.SAP0, build.SAP1, build.SAP2,
+		build.WaveTopBB, build.WaveRangeOpt, build.WaveAA2D:
+		return histogram.RoundNone
+	default:
+		return histogram.RoundCumulative
+	}
+}
+
+// buildAndScore constructs a method at a budget with its paper-defined
+// answering procedure and returns its exact SSE over all ranges.
+func buildAndScore(counts []int64, tab *prefix.Table, opt build.Options) (float64, error) {
+	opt.Rounding = roundingFor(opt.Method)
+	est, err := build.Build(counts, opt)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return sse.Of(tab, est), nil
+}
+
+// Fig1 reproduces Figure 1: SSE (log-scale in the paper) against storage
+// words for each summary representation on the paper's dataset. The
+// methods are the figure's NAIVE, POINT-OPT, A0, SAP0, SAP1, OPT-A and
+// TOPBB, extended with this repository's WAVE-RANGEOPT and WAVE-AA2D.
+func Fig1(cfg Config) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	counts := cfg.Data.Counts
+	tab := prefix.NewTable(counts)
+	methods := []build.Method{
+		build.Naive, build.PointOpt, build.A0, build.SAP0, build.SAP1,
+		build.OptA, build.WaveTopBB, build.WaveRangeOpt, build.WaveAA2D,
+	}
+	t := &Table{
+		ID:    "E1",
+		Title: fmt.Sprintf("Figure 1 — SSE vs storage words on %s", cfg.Data.Name),
+	}
+	for _, w := range cfg.Budgets {
+		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
+	}
+	for _, m := range methods {
+		row := Row{Label: m.String()}
+		for _, w := range cfg.Budgets {
+			if m == build.Naive {
+				v, err := buildAndScore(counts, tab, build.Options{Method: m})
+				if err != nil {
+					return nil, err
+				}
+				row.Values = append(row.Values, v)
+				continue
+			}
+			v, err := buildAndScore(counts, tab, build.Options{
+				Method: m, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %s w=%d: %w", m, w, err)
+			}
+			row.Values = append(row.Values, v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: NAIVE worst by orders of magnitude; OPT-A best; range-aware heuristics (A0) close behind;",
+		"POINT-OPT and SAP0 clearly inferior per word; wavelet TOPBB qualitatively worse than the histograms",
+		"NAIVE uses 1 word regardless of column")
+	return t, nil
+}
+
+// PointOptRatio reproduces the claim "POINT-OPT is up to 8 times worse
+// than OPT-A ... on average OPT-A is more than three times better".
+func PointOptRatio(cfg Config) (*Table, error) {
+	return ratioTable(cfg, "E2",
+		"SSE(POINT-OPT) / SSE(OPT-A) per storage budget",
+		build.PointOpt, build.OptA,
+		"paper: max ratio up to 8, mean ratio > 3")
+}
+
+// Sap1Ratio reproduces the claim "OPT-A is 2-4 times better than SAP1 with
+// respect to SSE for a given space bound".
+func Sap1Ratio(cfg Config) (*Table, error) {
+	return ratioTable(cfg, "E3",
+		"SSE(SAP1) / SSE(OPT-A) per storage budget",
+		build.SAP1, build.OptA,
+		"paper: ratio between 2 and 4 (more buckets beat richer per-bucket statistics)")
+}
+
+func ratioTable(cfg Config, id, title string, num, den build.Method, note string) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	counts := cfg.Data.Counts
+	tab := prefix.NewTable(counts)
+	t := &Table{ID: id, Title: title}
+	numRow := Row{Label: num.String()}
+	denRow := Row{Label: den.String()}
+	ratioRow := Row{Label: "ratio"}
+	var maxRatio, sumRatio float64
+	var count int
+	for _, w := range cfg.Budgets {
+		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
+		nv, err := buildAndScore(counts, tab, build.Options{Method: num, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates})
+		if err != nil {
+			return nil, err
+		}
+		dv, err := buildAndScore(counts, tab, build.Options{Method: den, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates})
+		if err != nil {
+			return nil, err
+		}
+		r := math.NaN()
+		if dv > 0 {
+			r = nv / dv
+			maxRatio = math.Max(maxRatio, r)
+			sumRatio += r
+			count++
+		}
+		numRow.Values = append(numRow.Values, nv)
+		denRow.Values = append(denRow.Values, dv)
+		ratioRow.Values = append(ratioRow.Values, r)
+	}
+	t.Rows = []Row{numRow, denRow, ratioRow}
+	if count > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("measured: max ratio %.2f, mean ratio %.2f", maxRatio, sumRatio/float64(count)))
+	}
+	t.Notes = append(t.Notes, note)
+	return t, nil
+}
+
+// Sap0Rank reproduces the claim that SAP0 is "inferior (in terms of SSE
+// per unit storage) to all other histograms": at every budget it compares
+// SAP0 to each other range-aware histogram.
+func Sap0Rank(cfg Config) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	counts := cfg.Data.Counts
+	tab := prefix.NewTable(counts)
+	methods := []build.Method{build.SAP0, build.A0, build.SAP1, build.SAP2, build.OptA}
+	t := &Table{ID: "E4", Title: "SAP0 vs other range-aware histograms (SSE at equal words)"}
+	vals := make(map[build.Method][]float64)
+	for _, w := range cfg.Budgets {
+		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
+		for _, m := range methods {
+			v, err := buildAndScore(counts, tab, build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates})
+			if err != nil {
+				return nil, err
+			}
+			vals[m] = append(vals[m], v)
+		}
+	}
+	for _, m := range methods {
+		t.Rows = append(t.Rows, Row{Label: m.String(), Values: vals[m]})
+	}
+	var worstAt []string
+	for i, w := range cfg.Budgets {
+		worst := true
+		for _, m := range methods[1:] {
+			if vals[build.SAP0][i] < vals[m][i] {
+				worst = false
+				break
+			}
+		}
+		if worst {
+			worstAt = append(worstAt, fmt.Sprintf("w=%d", w))
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("SAP0 worst at: %s (of %d budgets)", strings.Join(worstAt, " "), len(cfg.Budgets)),
+		"tiny budgets can starve SAP1 (5 words/bucket) below SAP0 instead",
+		"paper: SAP0 was inferior per unit storage to all other tested histograms")
+	return t, nil
+}
+
+// ReoptGain reproduces the §5 observation that re-optimizing the stored
+// values improves histograms whose summaries are not already optimal —
+// "up to 41% better than OPT-A" in the paper's preliminary experiment.
+func ReoptGain(cfg Config) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	counts := cfg.Data.Counts
+	tab := prefix.NewTable(counts)
+	methods := []build.Method{build.OptA, build.A0, build.EquiWidth, build.PointOpt}
+	t := &Table{ID: "E5", Title: "A-reopt: SSE improvement from re-optimized bucket values (%)"}
+	for _, w := range cfg.Budgets {
+		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
+	}
+	var maxGain float64
+	for _, m := range methods {
+		row := Row{Label: m.String() + "-reopt"}
+		for _, w := range cfg.Budgets {
+			opt := build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates}
+			plain, err := build.Build(counts, opt)
+			if err != nil {
+				return nil, err
+			}
+			avg, ok := plain.(*histogram.Avg)
+			if !ok {
+				return nil, fmt.Errorf("reopt experiment wants average histograms, got %T", plain)
+			}
+			re, err := reopt.Reopt(tab, avg)
+			if err != nil {
+				return nil, err
+			}
+			before := sse.Of(tab, avg)
+			after := sse.Of(tab, re)
+			gain := 0.0
+			if before > 0 {
+				gain = 100 * (before - after) / before
+			}
+			maxGain = math.Max(maxGain, gain)
+			row.Values = append(row.Values, gain)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured max gain: %.1f%%", maxGain),
+		"paper: reopt was up to 41% better than OPT-A on their dataset")
+	return t, nil
+}
+
+// WaveletStudy compares the wavelet selections against the A0 histogram —
+// the paper's qualitative wavelet finding plus this repository's two
+// range-aware selections.
+func WaveletStudy(cfg Config) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	counts := cfg.Data.Counts
+	tab := prefix.NewTable(counts)
+	methods := []build.Method{build.WaveTopBB, build.WaveRangeOpt, build.WaveAA2D, build.A0}
+	t := &Table{ID: "E6", Title: "Wavelet selections vs A0 histogram (SSE at equal words)"}
+	for _, w := range cfg.Budgets {
+		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
+	}
+	for _, m := range methods {
+		row := Row{Label: m.String()}
+		for _, w := range cfg.Budgets {
+			v, err := buildAndScore(counts, tab, build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: wavelet results were qualitatively worse than histogram methods")
+	return t, nil
+}
+
+// RoundedSweep is the Theorem 4 ablation: OPT-A-ROUNDED's error ratio to
+// the exact optimum and its DP work (generated states, the runtime driver)
+// as the rounding parameter x grows.
+func RoundedSweep(cfg Config, budgetWords int, xs []int64) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if budgetWords <= 0 {
+		budgetWords = 16
+	}
+	if len(xs) == 0 {
+		xs = []int64{1, 2, 4, 8, 16, 32}
+	}
+	counts := cfg.Data.Counts
+	tab := prefix.NewTable(counts)
+	units := (build.Options{Method: build.OptA, BudgetWords: budgetWords}).Units()
+
+	exact, err := core.OptAAuto(tab, units, cfg.Seed, core.Config{MaxStates: cfg.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	exactSSE := sse.Of(tab, exact.Hist)
+
+	t := &Table{ID: "E7", Title: fmt.Sprintf("OPT-A-ROUNDED sweep at %d words (exact SSE %.0f)", budgetWords, exactSSE)}
+	sseRow := Row{Label: "SSE"}
+	ratioRow := Row{Label: "SSE/optimal"}
+	workRow := Row{Label: "DP states gen."}
+	for _, x := range xs {
+		t.Columns = append(t.Columns, fmt.Sprintf("x=%d", x))
+		res, err := core.OptARounded(tab, units, x, cfg.Seed, core.Config{MaxStates: cfg.MaxStates})
+		if err != nil {
+			return nil, err
+		}
+		v := sse.Of(tab, res.Hist)
+		sseRow.Values = append(sseRow.Values, v)
+		r := math.NaN()
+		if exactSSE > 0 {
+			r = v / exactSSE
+		}
+		ratioRow.Values = append(ratioRow.Values, r)
+		workRow.Values = append(workRow.Values, float64(res.Stats.Generated))
+	}
+	t.Rows = []Row{sseRow, ratioRow, workRow}
+	t.Notes = append(t.Notes, "Theorem 4: larger x cuts DP work by ~x while error stays within (1+ε)")
+	return t, nil
+}
+
+// All runs every experiment with the shared configuration.
+func All(cfg Config) ([]*Table, error) {
+	var out []*Table
+	type gen func(Config) (*Table, error)
+	for _, g := range []gen{Fig1, PointOptRatio, Sap1Ratio, Sap0Rank, ReoptGain, WaveletStudy, PrefixStudy} {
+		t, err := g(cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	t, err := RoundedSweep(cfg, 16, nil)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, t)
+	t2, err := TwoDim(cfg, 0, 0)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, t2)
+	t3, err := HeuristicStudy(cfg)
+	if err != nil {
+		return out, err
+	}
+	return append(out, t3), nil
+}
+
+// PrefixStudy is the restricted-query-class ablation (the paper's
+// introduction: earlier optimality results covered only equality or
+// hierarchical/prefix ranges). It compares the prefix-query-optimal
+// histogram against OPT-A on both the prefix workload it optimizes and
+// the full range workload the paper targets.
+func PrefixStudy(cfg Config) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	counts := cfg.Data.Counts
+	tab := prefix.NewTable(counts)
+	n := tab.N()
+	prefixQueries := make([]sse.Range, n)
+	for b := 0; b < n; b++ {
+		prefixQueries[b] = sse.Range{A: 0, B: b}
+	}
+	t := &Table{ID: "E9", Title: "PREFIX-OPT vs OPT-A: prefix-only vs all-ranges SSE"}
+	rows := map[string]*Row{}
+	order := []string{"PREFIX-OPT (prefix)", "OPT-A (prefix)", "PREFIX-OPT (ranges)", "OPT-A (ranges)"}
+	for _, label := range order {
+		rows[label] = &Row{Label: label}
+	}
+	for _, w := range cfg.Budgets {
+		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
+		for _, m := range []build.Method{build.PrefixOpt, build.OptA} {
+			// Both methods answer unrounded here: PREFIX-OPT's optimality
+			// claim is for the real-valued prefix objective, and mixing in
+			// integer rounding noise would blur the class comparison at
+			// large budgets.
+			est, err := build.Build(counts, build.Options{
+				Method: m, BudgetWords: w, Seed: cfg.Seed,
+				MaxStates: cfg.MaxStates,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pm := sse.Evaluate(tab, est, prefixQueries)
+			full := sse.Of(tab, est)
+			name := m.String()
+			rows[name+" (prefix)"].Values = append(rows[name+" (prefix)"].Values, pm.SSE)
+			rows[name+" (ranges)"].Values = append(rows[name+" (ranges)"].Values, full)
+		}
+	}
+	for _, label := range order {
+		t.Rows = append(t.Rows, *rows[label])
+	}
+	t.Notes = append(t.Notes,
+		"PREFIX-OPT is provably optimal on the prefix workload; the gap on the all-ranges rows",
+		"is the cost of optimizing the restricted class earlier work covered")
+	return t, nil
+}
+
+// TwoDim is the higher-dimensional extension study (the paper's footnote
+// 2): rectangle-query SSE of the 2-D summaries on a correlated joint
+// distribution, at a sweep of storage budgets.
+func TwoDim(cfg Config, rows, cols int) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if rows <= 0 {
+		rows = 24
+	}
+	if cols <= 0 {
+		cols = 24
+	}
+	// A Zipf-marginal, diagonally correlated joint distribution.
+	counts := make([][]int64, rows)
+	for r := range counts {
+		counts[r] = make([]int64, cols)
+		for c := range counts[r] {
+			d := r - c
+			if d < 0 {
+				d = -d
+			}
+			head := 2000.0 / math.Pow(float64(r+1), 1.2)
+			counts[r][c] = int64(head / float64(1+d*d))
+		}
+	}
+	g, err := grid.New("joint-zipf-diag", counts)
+	if err != nil {
+		return nil, err
+	}
+	tab := grid.NewTable(g)
+
+	t := &Table{ID: "E10", Title: fmt.Sprintf("2-D extension — rectangle SSE on %d×%d correlated grid", rows, cols)}
+	budgets := cfg.Budgets
+	for _, w := range budgets {
+		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
+	}
+	type builder func(w int) (grid.Estimator2D, error)
+	rowsSpec := []struct {
+		label string
+		build builder
+	}{
+		{"NAIVE-2D", func(int) (grid.Estimator2D, error) { return grid.NewNaive2D(tab), nil }},
+		{"EQUI-GRID", func(w int) (grid.Estimator2D, error) {
+			side := 1
+			for (side+1)*(side+1)+2*(side+1) <= w {
+				side++
+			}
+			return grid.NewEquiGrid(tab, side, side)
+		}},
+		{"TOPBB-2D", func(w int) (grid.Estimator2D, error) { return grid.NewWave2D(g, maxInt(1, w/2)) }},
+		{"AVI", func(w int) (grid.Estimator2D, error) {
+			half := maxInt(2, (w-1)/2)
+			rowSyn, err := build.Build(grid.RowMarginal(g), build.Options{Method: build.A0, BudgetWords: half})
+			if err != nil {
+				return nil, err
+			}
+			colSyn, err := build.Build(grid.ColMarginal(g), build.Options{Method: build.A0, BudgetWords: half})
+			if err != nil {
+				return nil, err
+			}
+			return grid.NewAVI(tab, rowSyn, colSyn)
+		}},
+		{"WAVE-RANGEOPT-2D", func(w int) (grid.Estimator2D, error) { return grid.NewRangeOpt2D(tab, maxInt(1, w/2)) }},
+	}
+	for _, spec := range rowsSpec {
+		row := Row{Label: spec.label}
+		for _, w := range budgets {
+			est, err := spec.build(w)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, grid.SSEAll(tab, est))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"the prefix-corner identity generalizes: WAVE-RANGEOPT-2D is optimal within its coefficient class",
+		"(verified in internal/grid tests); classes remain incomparable across representations")
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// HeuristicStudy (E11) quantifies the paper's closing theme — cheap
+// heuristics plus general improvement passes: polynomial constructions
+// with boundary local search and §5 re-optimization, measured against the
+// exact optimum. All rows answer unrounded so the improvement operators
+// (which optimize the real-valued objective) compose cleanly.
+func HeuristicStudy(cfg Config) (*Table, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	counts := cfg.Data.Counts
+	tab := prefix.NewTable(counts)
+	specs := []struct {
+		label string
+		opt   build.Options
+	}{
+		{"EQUI-WIDTH", build.Options{Method: build.EquiWidth}},
+		{"EQUI-WIDTH-ls", build.Options{Method: build.EquiWidth, LocalSearch: true}},
+		{"EQUI-WIDTH-ls-re", build.Options{Method: build.EquiWidth, LocalSearch: true, Reopt: true}},
+		{"A0", build.Options{Method: build.A0}},
+		{"A0-ls", build.Options{Method: build.A0, LocalSearch: true}},
+		{"A0-ls-re", build.Options{Method: build.A0, LocalSearch: true, Reopt: true}},
+		{"OPT-A", build.Options{Method: build.OptA}},
+		{"OPT-A-re", build.Options{Method: build.OptA, Reopt: true}},
+	}
+	t := &Table{ID: "E11", Title: "Heuristics + local search + reopt vs the exact optimum (unrounded SSE)"}
+	for _, w := range cfg.Budgets {
+		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
+	}
+	for _, spec := range specs {
+		row := Row{Label: spec.label}
+		for _, w := range cfg.Budgets {
+			opt := spec.opt
+			opt.BudgetWords = w
+			opt.Seed = cfg.Seed
+			opt.MaxStates = cfg.MaxStates
+			est, err := build.Build(counts, opt)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, sse.Of(tab, est))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"the paper's closing point: improvement operators are general; ls+reopt lifts even equi-width",
+		"close to the optimal curve at a fraction of the exact DP's cost")
+	return t, nil
+}

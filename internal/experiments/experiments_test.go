@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rangeagg/internal/dataset"
+)
+
+// smallCfg keeps experiment tests fast: a 31-key Zipf slice and two
+// budgets.
+func smallCfg(t *testing.T) Config {
+	t.Helper()
+	d, err := dataset.Zipf(dataset.ZipfConfig{N: 31, Alpha: 1.8, MaxCount: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Data: d, Budgets: []int{8, 16}, Seed: 1}
+}
+
+func findRow(t *testing.T, tab *Table, label string) Row {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r.Label == label {
+			return r
+		}
+	}
+	t.Fatalf("table %s has no row %q (rows: %v)", tab.ID, label, tab.Rows)
+	return Row{}
+}
+
+func TestFig1ShapeHolds(t *testing.T) {
+	tab, err := Fig1(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 2 || len(tab.Rows) != 9 {
+		t.Fatalf("unexpected table shape: %d cols %d rows", len(tab.Columns), len(tab.Rows))
+	}
+	naive := findRow(t, tab, "NAIVE")
+	opta := findRow(t, tab, "OPT-A")
+	pointOpt := findRow(t, tab, "POINT-OPT")
+	for i := range tab.Columns {
+		if !(naive.Values[i] > opta.Values[i]) {
+			t.Errorf("col %d: NAIVE %g not worse than OPT-A %g", i, naive.Values[i], opta.Values[i])
+		}
+		if pointOpt.Values[i] < opta.Values[i]*0.99 {
+			t.Errorf("col %d: POINT-OPT %g better than OPT-A %g", i, pointOpt.Values[i], opta.Values[i])
+		}
+	}
+	// Every SSE must be finite and non-negative.
+	for _, r := range tab.Rows {
+		for i, v := range r.Values {
+			if math.IsNaN(v) || v < 0 {
+				t.Errorf("%s col %d: bad value %g", r.Label, i, v)
+			}
+		}
+	}
+}
+
+func TestPointOptRatioAboveOne(t *testing.T) {
+	tab, err := PointOptRatio(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := findRow(t, tab, "ratio")
+	for i, v := range ratio.Values {
+		if !(v >= 0.99) {
+			t.Errorf("col %d: POINT-OPT/OPT-A ratio %g < 1", i, v)
+		}
+	}
+}
+
+func TestSap1RatioAboveOne(t *testing.T) {
+	tab, err := Sap1Ratio(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := findRow(t, tab, "ratio")
+	for i, v := range ratio.Values {
+		// SAP1 at equal words has 2.5× fewer buckets; the paper (and we)
+		// expect it to lose to OPT-A.
+		if !(v >= 0.99) {
+			t.Errorf("col %d: SAP1/OPT-A ratio %g < 1", i, v)
+		}
+	}
+}
+
+func TestSap0RankTable(t *testing.T) {
+	tab, err := Sap0Rank(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sap0 := findRow(t, tab, "SAP0")
+	opta := findRow(t, tab, "OPT-A")
+	for i := range tab.Columns {
+		if sap0.Values[i] < opta.Values[i]*0.99 {
+			t.Errorf("col %d: SAP0 %g beats OPT-A %g at equal words", i, sap0.Values[i], opta.Values[i])
+		}
+	}
+}
+
+func TestReoptGainNonNegative(t *testing.T) {
+	tab, err := ReoptGain(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		for i, v := range r.Values {
+			if v < -1e-6 {
+				t.Errorf("%s col %d: negative gain %g%%", r.Label, i, v)
+			}
+		}
+	}
+}
+
+func TestWaveletStudyRuns(t *testing.T) {
+	tab, err := WaveletStudy(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRoundedSweep(t *testing.T) {
+	tab, err := RoundedSweep(smallCfg(t), 8, []int64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := findRow(t, tab, "SSE/optimal")
+	if ratio.Values[0] < 0.99 || (len(ratio.Values) > 1 && ratio.Values[1] < 0.99) {
+		t.Errorf("rounded beat exact: %v", ratio.Values)
+	}
+	// x=1 is the exact run: ratio exactly 1 within float noise.
+	if math.Abs(ratio.Values[0]-1) > 1e-9 {
+		t.Errorf("x=1 ratio = %g, want 1", ratio.Values[0])
+	}
+}
+
+func TestAllAndRendering(t *testing.T) {
+	tabs, err := All(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 10 {
+		t.Fatalf("experiments = %d, want 10", len(tabs))
+	}
+	var buf bytes.Buffer
+	for _, tab := range tabs {
+		if _, err := tab.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E9", "E10", "E11"} {
+		if !strings.Contains(out, "== "+id) {
+			t.Errorf("rendered output missing %s", id)
+		}
+	}
+}
+
+func TestDefaultsUsePaperDataset(t *testing.T) {
+	cfg, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Data.N() != 127 {
+		t.Errorf("default dataset n = %d, want 127", cfg.Data.N())
+	}
+	if len(cfg.Budgets) == 0 {
+		t.Error("no default budgets")
+	}
+}
+
+func TestPlotLog(t *testing.T) {
+	tab, err := Fig1(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PlotLog(tab, 10)
+	if !strings.Contains(out, "log10(SSE)") {
+		t.Fatalf("missing header: %q", out[:40])
+	}
+	for _, r := range tab.Rows {
+		if !strings.Contains(out, "= "+r.Label) {
+			t.Errorf("legend missing %s", r.Label)
+		}
+	}
+	// Degenerate input.
+	if got := PlotLog(&Table{}, 5); !strings.Contains(got, "nothing to plot") {
+		t.Errorf("empty table plot = %q", got)
+	}
+}
+
+func TestTwoDim(t *testing.T) {
+	cfg := smallCfg(t)
+	tab, err := TwoDim(cfg, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	naive := findRow(t, tab, "NAIVE-2D")
+	eg := findRow(t, tab, "EQUI-GRID")
+	for i := range eg.Values {
+		if eg.Values[i] > naive.Values[i] {
+			t.Errorf("EQUI-GRID col %d: %g worse than naive %g", i, eg.Values[i], naive.Values[i])
+		}
+	}
+	// Wavelets may lose to naive at tiny budgets (as in 1-D); only guard
+	// against absurdity.
+	for _, label := range []string{"TOPBB-2D", "WAVE-RANGEOPT-2D"} {
+		r := findRow(t, tab, label)
+		for i, v := range r.Values {
+			if v > naive.Values[i]*20 {
+				t.Errorf("%s col %d: %g absurdly worse than naive %g", label, i, v, naive.Values[i])
+			}
+		}
+	}
+}
+
+func TestHeuristicStudy(t *testing.T) {
+	tab, err := HeuristicStudy(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Row{}
+	for _, r := range tab.Rows {
+		rows[r.Label] = r
+	}
+	for i := range tab.Columns {
+		// Improvement operators never worsen their base method.
+		if rows["A0-ls"].Values[i] > rows["A0"].Values[i]*(1+1e-9) {
+			t.Errorf("col %d: A0-ls worse than A0", i)
+		}
+		if rows["A0-ls-re"].Values[i] > rows["A0-ls"].Values[i]*(1+1e-9) {
+			t.Errorf("col %d: reopt worsened A0-ls", i)
+		}
+		if rows["EQUI-WIDTH-ls"].Values[i] > rows["EQUI-WIDTH"].Values[i]*(1+1e-9) {
+			t.Errorf("col %d: ls worsened EQUI-WIDTH", i)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotLog renders the table's rows as series on a log10 y-axis over the
+// column positions, as plain text for terminals — the shape of the
+// paper's Figure 1 at a glance. Rows containing non-positive values plot
+// only their positive points (log scale); the NAIVE row still shows as a
+// flat top line.
+func PlotLog(t *Table, height int) string {
+	if height < 4 {
+		height = 12
+	}
+	// Collect the log range.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if v > 0 {
+				lv := math.Log10(v)
+				minV = math.Min(minV, lv)
+				maxV = math.Max(maxV, lv)
+			}
+		}
+	}
+	if math.IsInf(minV, 1) || minV == maxV {
+		return "(nothing to plot)\n"
+	}
+	cols := len(t.Columns)
+	colWidth := 6
+	width := cols * colWidth
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "oxs+*#@%&"
+	for ri, r := range t.Rows {
+		mark := marks[ri%len(marks)]
+		for ci, v := range r.Values {
+			if v <= 0 || ci >= cols {
+				continue
+			}
+			frac := (math.Log10(v) - minV) / (maxV - minV)
+			y := int(math.Round(float64(height-1) * (1 - frac)))
+			x := ci*colWidth + colWidth/2
+			if y >= 0 && y < height && x < width {
+				grid[y][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "log10(SSE), %.1f (top) .. %.1f (bottom)\n", maxV, minV)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n   ")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s", colWidth, c)
+	}
+	b.WriteByte('\n')
+	for ri, r := range t.Rows {
+		fmt.Fprintf(&b, "   %c = %s\n", marks[ri%len(marks)], r.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// encoded2D is the JSON wire form of the 2-D synopses.
+type encoded2D struct {
+	Kind      string          `json:"kind"` // "naive", "equigrid", "wave", "rangeopt"
+	Rows      int             `json:"rows"`
+	Cols      int             `json:"cols"`
+	Avg       float64         `json:"avg,omitempty"`
+	RowStarts []int           `json:"rowStarts,omitempty"`
+	ColStarts []int           `json:"colStarts,omitempty"`
+	CellAvgs  [][]float64     `json:"cellAvgs,omitempty"`
+	PowR      int             `json:"powR,omitempty"`
+	PowC      int             `json:"powC,omitempty"`
+	Coeffs    []Coefficient2D `json:"coeffs,omitempty"`
+	Label     string          `json:"label,omitempty"`
+}
+
+// WriteJSON serializes a 2-D synopsis.
+func WriteJSON(w io.Writer, s Estimator2D) error {
+	var enc encoded2D
+	switch v := s.(type) {
+	case *Naive2D:
+		enc = encoded2D{Kind: "naive", Rows: v.rows, Cols: v.cols, Avg: v.avg}
+	case *EquiGrid:
+		enc = encoded2D{Kind: "equigrid", Rows: v.rows, Cols: v.cols,
+			RowStarts: v.rowStarts, ColStarts: v.colStarts, CellAvgs: v.avgs}
+	case *Wave2D:
+		enc = encoded2D{Kind: "wave", Rows: v.rows, Cols: v.cols,
+			PowR: v.powR, PowC: v.powC, Coeffs: v.coeffs, Label: v.label}
+	case *RangeOpt2D:
+		enc = encoded2D{Kind: "rangeopt", Rows: v.rows, Cols: v.cols,
+			PowR: v.powR, PowC: v.powC, Coeffs: v.coeffs, Label: v.label}
+	default:
+		return fmt.Errorf("grid: cannot encode %T", s)
+	}
+	return json.NewEncoder(w).Encode(enc)
+}
+
+// ReadJSON deserializes a 2-D synopsis written by WriteJSON.
+func ReadJSON(r io.Reader) (Estimator2D, error) {
+	var enc encoded2D
+	if err := json.NewDecoder(r).Decode(&enc); err != nil {
+		return nil, fmt.Errorf("grid: decoding JSON: %w", err)
+	}
+	if enc.Rows <= 0 || enc.Cols <= 0 {
+		return nil, fmt.Errorf("grid: corrupt dimensions %d×%d", enc.Rows, enc.Cols)
+	}
+	switch enc.Kind {
+	case "naive":
+		return &Naive2D{rows: enc.Rows, cols: enc.Cols, avg: enc.Avg}, nil
+	case "equigrid":
+		e := &EquiGrid{rows: enc.Rows, cols: enc.Cols,
+			rowStarts: enc.RowStarts, colStarts: enc.ColStarts, avgs: enc.CellAvgs}
+		if err := e.validate(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "wave", "rangeopt":
+		if err := validatePow2Pair(enc.PowR, enc.PowC); err != nil {
+			return nil, err
+		}
+		for _, c := range enc.Coeffs {
+			if c.K < 0 || c.K >= enc.PowR || c.L < 0 || c.L >= enc.PowC {
+				return nil, fmt.Errorf("grid: coefficient (%d,%d) outside %d×%d transform", c.K, c.L, enc.PowR, enc.PowC)
+			}
+		}
+		if enc.Kind == "wave" {
+			if enc.PowR < enc.Rows || enc.PowC < enc.Cols {
+				return nil, fmt.Errorf("grid: transform %d×%d smaller than domain %d×%d", enc.PowR, enc.PowC, enc.Rows, enc.Cols)
+			}
+			return &Wave2D{rows: enc.Rows, cols: enc.Cols, powR: enc.PowR, powC: enc.PowC,
+				coeffs: enc.Coeffs, label: enc.Label}, nil
+		}
+		if enc.PowR < enc.Rows+1 || enc.PowC < enc.Cols+1 {
+			return nil, fmt.Errorf("grid: corner transform %d×%d too small for domain %d×%d", enc.PowR, enc.PowC, enc.Rows, enc.Cols)
+		}
+		s := &RangeOpt2D{rows: enc.Rows, cols: enc.Cols, powR: enc.PowR, powC: enc.PowC,
+			coeffs: enc.Coeffs, label: enc.Label, lookup: make(map[int64]float64, len(enc.Coeffs))}
+		for _, c := range s.coeffs {
+			s.lookup[int64(c.K)<<32|int64(c.L)] = c.Value
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("grid: unknown kind %q", enc.Kind)
+	}
+}
+
+func validatePow2Pair(r, c int) error {
+	if r <= 0 || r&(r-1) != 0 || c <= 0 || c&(c-1) != 0 {
+		return fmt.Errorf("grid: corrupt transform lengths %d×%d", r, c)
+	}
+	return nil
+}
+
+// validate checks a decoded equi-grid for structural sanity.
+func (e *EquiGrid) validate() error {
+	if len(e.rowStarts) == 0 || len(e.colStarts) == 0 {
+		return fmt.Errorf("grid: equi-grid without cells")
+	}
+	if e.rowStarts[0] != 0 || e.colStarts[0] != 0 {
+		return fmt.Errorf("grid: equi-grid starts must begin at 0")
+	}
+	for i := 1; i < len(e.rowStarts); i++ {
+		if e.rowStarts[i] <= e.rowStarts[i-1] || e.rowStarts[i] >= e.rows {
+			return fmt.Errorf("grid: bad row starts")
+		}
+	}
+	for j := 1; j < len(e.colStarts); j++ {
+		if e.colStarts[j] <= e.colStarts[j-1] || e.colStarts[j] >= e.cols {
+			return fmt.Errorf("grid: bad col starts")
+		}
+	}
+	if len(e.avgs) != len(e.rowStarts) {
+		return fmt.Errorf("grid: cell matrix has %d rows, want %d", len(e.avgs), len(e.rowStarts))
+	}
+	for _, row := range e.avgs {
+		if len(row) != len(e.colStarts) {
+			return fmt.Errorf("grid: cell matrix has %d cols, want %d", len(row), len(e.colStarts))
+		}
+	}
+	return nil
+}

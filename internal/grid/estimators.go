@@ -1,0 +1,246 @@
+package grid
+
+import (
+	"fmt"
+)
+
+// Naive2D stores the single global average (1 word).
+type Naive2D struct {
+	rows, cols int
+	avg        float64
+}
+
+// NewNaive2D builds the global-average summary.
+func NewNaive2D(t *Table) *Naive2D {
+	full := Rect{R1: 0, C1: 0, R2: t.rows - 1, C2: t.cols - 1}
+	return &Naive2D{
+		rows: t.rows, cols: t.cols,
+		avg: t.SumF(full) / float64(t.rows*t.cols),
+	}
+}
+
+// Rows returns the first-dimension domain size.
+func (n *Naive2D) Rows() int { return n.rows }
+
+// Cols returns the second-dimension domain size.
+func (n *Naive2D) Cols() int { return n.cols }
+
+// StorageWords returns 1.
+func (n *Naive2D) StorageWords() int { return 1 }
+
+// Name identifies the construction.
+func (n *Naive2D) Name() string { return "NAIVE-2D" }
+
+// Estimate answers a rectangle query by area × average.
+func (n *Naive2D) Estimate(q Rect) float64 {
+	if !q.Valid(n.rows, n.cols) {
+		panic(fmt.Sprintf("grid: invalid rectangle %+v", q))
+	}
+	return n.avg * float64(q.R2-q.R1+1) * float64(q.C2-q.C1+1)
+}
+
+// EquiGrid partitions the domain into a gr×gc grid of cells, each storing
+// its average — the classical multidimensional equi-width histogram.
+// Storage: gr·gc values + the two boundary vectors ≈ gr·gc + gr + gc
+// words.
+type EquiGrid struct {
+	rows, cols int
+	rowStarts  []int
+	colStarts  []int
+	avgs       [][]float64 // [cellRow][cellCol]
+}
+
+// NewEquiGrid builds a gr×gc equi-width grid histogram.
+func NewEquiGrid(t *Table, gr, gc int) (*EquiGrid, error) {
+	if gr <= 0 || gc <= 0 {
+		return nil, fmt.Errorf("grid: need positive grid dimensions, got %d×%d", gr, gc)
+	}
+	if gr > t.rows {
+		gr = t.rows
+	}
+	if gc > t.cols {
+		gc = t.cols
+	}
+	e := &EquiGrid{rows: t.rows, cols: t.cols}
+	e.rowStarts = equiStarts(t.rows, gr)
+	e.colStarts = equiStarts(t.cols, gc)
+	gr, gc = len(e.rowStarts), len(e.colStarts)
+	e.avgs = make([][]float64, gr)
+	for i := range e.avgs {
+		e.avgs[i] = make([]float64, gc)
+		r1, r2 := e.rowBounds(i)
+		for j := range e.avgs[i] {
+			c1, c2 := e.colBounds(j)
+			area := float64((r2 - r1 + 1) * (c2 - c1 + 1))
+			e.avgs[i][j] = t.SumF(Rect{R1: r1, C1: c1, R2: r2, C2: c2}) / area
+		}
+	}
+	return e, nil
+}
+
+func equiStarts(n, parts int) []int {
+	starts := make([]int, 0, parts)
+	last := -1
+	for i := 0; i < parts; i++ {
+		s := i * n / parts
+		if s != last {
+			starts = append(starts, s)
+			last = s
+		}
+	}
+	return starts
+}
+
+func (e *EquiGrid) rowBounds(i int) (int, int) {
+	lo := e.rowStarts[i]
+	hi := e.rows - 1
+	if i+1 < len(e.rowStarts) {
+		hi = e.rowStarts[i+1] - 1
+	}
+	return lo, hi
+}
+
+func (e *EquiGrid) colBounds(j int) (int, int) {
+	lo := e.colStarts[j]
+	hi := e.cols - 1
+	if j+1 < len(e.colStarts) {
+		hi = e.colStarts[j+1] - 1
+	}
+	return lo, hi
+}
+
+// Rows returns the first-dimension domain size.
+func (e *EquiGrid) Rows() int { return e.rows }
+
+// Cols returns the second-dimension domain size.
+func (e *EquiGrid) Cols() int { return e.cols }
+
+// StorageWords counts the cell values plus the two boundary vectors.
+func (e *EquiGrid) StorageWords() int {
+	return len(e.rowStarts)*len(e.colStarts) + len(e.rowStarts) + len(e.colStarts)
+}
+
+// Name identifies the construction.
+func (e *EquiGrid) Name() string { return "EQUI-GRID" }
+
+// Estimate answers a rectangle query by accumulating cell overlaps.
+func (e *EquiGrid) Estimate(q Rect) float64 {
+	if !q.Valid(e.rows, e.cols) {
+		panic(fmt.Sprintf("grid: invalid rectangle %+v", q))
+	}
+	var sum float64
+	for i := range e.rowStarts {
+		r1, r2 := e.rowBounds(i)
+		if r2 < q.R1 || r1 > q.R2 {
+			continue
+		}
+		rOverlap := float64(min(r2, q.R2) - max(r1, q.R1) + 1)
+		for j := range e.colStarts {
+			c1, c2 := e.colBounds(j)
+			if c2 < q.C1 || c1 > q.C2 {
+				continue
+			}
+			cOverlap := float64(min(c2, q.C2) - max(c1, q.C1) + 1)
+			sum += e.avgs[i][j] * rOverlap * cOverlap
+		}
+	}
+	return sum
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AVI is the classic attribute-value-independence estimator every
+// commercial optimizer falls back to: it keeps one 1-D synopsis per
+// marginal and estimates a rectangle as
+//
+//	ŝ(rect) = rowEst(r1..r2) · colEst(c1..c2) / total,
+//
+// exact when the joint distribution is a product of its marginals and
+// arbitrarily wrong under correlation — the baseline the 2-D synopses
+// exist to beat.
+type AVI struct {
+	rows, cols int
+	total      float64
+	rowEst     Marginal
+	colEst     Marginal
+}
+
+// Marginal answers approximate 1-D range sums (any rangeagg synopsis fits).
+type Marginal interface {
+	Estimate(a, b int) float64
+	StorageWords() int
+	Name() string
+}
+
+// NewAVI combines two marginal synopses into the independence estimator.
+func NewAVI(t *Table, rowEst, colEst Marginal) (*AVI, error) {
+	if rowEst == nil || colEst == nil {
+		return nil, fmt.Errorf("grid: AVI needs both marginal synopses")
+	}
+	full := Rect{R1: 0, C1: 0, R2: t.rows - 1, C2: t.cols - 1}
+	return &AVI{
+		rows: t.rows, cols: t.cols,
+		total:  t.SumF(full),
+		rowEst: rowEst, colEst: colEst,
+	}, nil
+}
+
+// RowMarginal extracts the row-sums vector of a grid (for building the
+// row synopsis).
+func RowMarginal(g *Grid) []int64 {
+	out := make([]int64, g.Rows())
+	for r, row := range g.Counts {
+		for _, v := range row {
+			out[r] += v
+		}
+	}
+	return out
+}
+
+// ColMarginal extracts the column-sums vector of a grid.
+func ColMarginal(g *Grid) []int64 {
+	out := make([]int64, g.Cols())
+	for _, row := range g.Counts {
+		for c, v := range row {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// Rows returns the first-dimension domain size.
+func (a *AVI) Rows() int { return a.rows }
+
+// Cols returns the second-dimension domain size.
+func (a *AVI) Cols() int { return a.cols }
+
+// StorageWords sums the marginal synopses plus the stored total.
+func (a *AVI) StorageWords() int {
+	return a.rowEst.StorageWords() + a.colEst.StorageWords() + 1
+}
+
+// Name identifies the construction.
+func (a *AVI) Name() string { return "AVI" }
+
+// Estimate applies the independence assumption.
+func (a *AVI) Estimate(q Rect) float64 {
+	if !q.Valid(a.rows, a.cols) {
+		panic(fmt.Sprintf("grid: invalid rectangle %+v", q))
+	}
+	if a.total == 0 {
+		return 0
+	}
+	return a.rowEst.Estimate(q.R1, q.R2) * a.colEst.Estimate(q.C1, q.C2) / a.total
+}

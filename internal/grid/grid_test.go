@@ -1,0 +1,496 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-8*scale
+}
+
+func randGrid(rng *rand.Rand, rows, cols int, lim int64) *Grid {
+	counts := make([][]int64, rows)
+	for r := range counts {
+		counts[r] = make([]int64, cols)
+		for c := range counts[r] {
+			counts[r][c] = rng.Int63n(lim)
+		}
+	}
+	g, err := New("rand", counts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := New("x", [][]int64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged accepted")
+	}
+	if _, err := New("x", [][]int64{{1, -2}}); err == nil {
+		t.Error("negative accepted")
+	}
+	g, err := New("x", [][]int64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows() != 2 || g.Cols() != 3 || g.Total() != 21 {
+		t.Errorf("basic accessors wrong: %d %d %d", g.Rows(), g.Cols(), g.Total())
+	}
+}
+
+func TestTableSumsMatchBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	g := randGrid(rng, 7, 9, 30)
+	tab := NewTable(g)
+	for _, q := range AllRects(7, 9) {
+		var want int64
+		for r := q.R1; r <= q.R2; r++ {
+			for c := q.C1; c <= q.C2; c++ {
+				want += g.Counts[r][c]
+			}
+		}
+		if got := tab.Sum(q); got != want {
+			t.Fatalf("Sum(%+v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestTableSumPanics(t *testing.T) {
+	g := randGrid(rand.New(rand.NewSource(1)), 3, 3, 5)
+	tab := NewTable(g)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid rect accepted")
+		}
+	}()
+	tab.Sum(Rect{R1: 0, C1: 0, R2: 3, C2: 0})
+}
+
+func TestNaive2D(t *testing.T) {
+	g, _ := New("x", [][]int64{{2, 2}, {2, 2}})
+	tab := NewTable(g)
+	n := NewNaive2D(tab)
+	if n.StorageWords() != 1 {
+		t.Errorf("storage = %d", n.StorageWords())
+	}
+	if got := n.Estimate(Rect{0, 0, 1, 1}); !approxEq(got, 8) {
+		t.Errorf("full estimate = %g, want 8", got)
+	}
+	if got := n.Estimate(Rect{0, 0, 0, 0}); !approxEq(got, 2) {
+		t.Errorf("cell estimate = %g, want 2", got)
+	}
+}
+
+func TestEquiGridExactOnAlignedQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	g := randGrid(rng, 8, 8, 40)
+	tab := NewTable(g)
+	e, err := NewEquiGrid(tab, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries aligned to cell boundaries are exact (cells are averaged).
+	full := Rect{0, 0, 7, 7}
+	if got, want := e.Estimate(full), tab.SumF(full); !approxEq(got, want) {
+		t.Errorf("full = %g, want %g", got, want)
+	}
+	cell := Rect{R1: 2, C1: 4, R2: 3, C2: 5}
+	if got, want := e.Estimate(cell), tab.SumF(cell); !approxEq(got, want) {
+		t.Errorf("cell-aligned = %g, want %g", got, want)
+	}
+}
+
+func TestEquiGridMatchesBruteDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	g := randGrid(rng, 6, 10, 25)
+	tab := NewTable(g)
+	e, err := NewEquiGrid(tab, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: per-position average lookup.
+	avgAt := func(r, c int) float64 {
+		var i, j int
+		for i = len(e.rowStarts) - 1; e.rowStarts[i] > r; i-- {
+		}
+		for j = len(e.colStarts) - 1; e.colStarts[j] > c; j-- {
+		}
+		return e.avgs[i][j]
+	}
+	for _, q := range AllRects(6, 10) {
+		var want float64
+		for r := q.R1; r <= q.R2; r++ {
+			for c := q.C1; c <= q.C2; c++ {
+				want += avgAt(r, c)
+			}
+		}
+		if got := e.Estimate(q); !approxEq(got, want) {
+			t.Fatalf("Estimate(%+v) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+func TestEquiGridValidation(t *testing.T) {
+	g := randGrid(rand.New(rand.NewSource(2)), 4, 4, 5)
+	tab := NewTable(g)
+	if _, err := NewEquiGrid(tab, 0, 2); err == nil {
+		t.Error("zero grid accepted")
+	}
+	// Oversized grid collapses.
+	e, err := NewEquiGrid(tab, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.rowStarts) > 4 || len(e.colStarts) > 4 {
+		t.Errorf("grid not collapsed: %d×%d", len(e.rowStarts), len(e.colStarts))
+	}
+}
+
+func TestWave2DFullBudgetIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	for _, dims := range [][2]int{{8, 8}, {5, 9}} { // aligned and padded
+		g := randGrid(rng, dims[0], dims[1], 30)
+		tab := NewTable(g)
+		w, err := NewWave2D(g, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range AllRects(dims[0], dims[1]) {
+			if got, want := w.Estimate(q), tab.SumF(q); !approxEq(got, want) {
+				t.Fatalf("dims %v: Estimate(%+v) = %g, want %g", dims, q, got, want)
+			}
+		}
+	}
+}
+
+func TestRangeOpt2DFullBudgetIsExact(t *testing.T) {
+	// With every non-DC-factor coefficient kept, rectangle answers are
+	// exact: the dropped DC-factor coefficients never matter. Corner grid
+	// 8×8 (rows=cols=7) is exactly power-of-two.
+	rng := rand.New(rand.NewSource(135))
+	g := randGrid(rng, 7, 7, 40)
+	tab := NewTable(g)
+	s, err := NewRangeOpt2D(tab, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range AllRects(7, 7) {
+		if got, want := s.Estimate(q), tab.SumF(q); !approxEq(got, want) {
+			t.Fatalf("Estimate(%+v) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+func TestRangeOpt2DClosedForm(t *testing.T) {
+	// SSE over all rectangles = Nr·Nc·Σ_{dropped k,l≥1} c² on
+	// power-of-two corner grids.
+	rng := rand.New(rand.NewSource(136))
+	g := randGrid(rng, 7, 15, 25) // corner grids 8 and 16
+	tab := NewTable(g)
+	// Full transform for the reference.
+	powR, powC := 8, 16
+	m := make([][]float64, powR)
+	for u := range m {
+		m[u] = make([]float64, powC)
+		for v := range m[u] {
+			su, sv := u, v
+			if su > 7 {
+				su = 7
+			}
+			if sv > 15 {
+				sv = 15
+			}
+			m[u][v] = float64(tab.P[su][sv])
+		}
+	}
+	coeffs, err := transform2D(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{2, 6, 20} {
+		s, err := NewRangeOpt2D(tab, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := map[[2]int]bool{}
+		for _, c := range s.Coefficients() {
+			kept[[2]int{c.K, c.L}] = true
+		}
+		var want float64
+		for k := 1; k < powR; k++ {
+			for l := 1; l < powC; l++ {
+				if !kept[[2]int{k, l}] {
+					want += coeffs[k][l] * coeffs[k][l]
+				}
+			}
+		}
+		want *= float64(powR * powC)
+		got := SSEAll(tab, s)
+		if !approxEq(got, want) {
+			t.Fatalf("b=%d: SSE %g, closed form %g", b, got, want)
+		}
+	}
+}
+
+func TestRangeOpt2DOptimalAmongSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	g := randGrid(rng, 7, 7, 30)
+	tab := NewTable(g)
+	const b = 5
+	opt, err := NewRangeOpt2D(tab, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optSSE := SSEAll(tab, opt)
+	// Random same-size subsets (possibly wasting slots on DC factors)
+	// cannot beat the selection.
+	powR, powC := 8, 8
+	m := make([][]float64, powR)
+	for u := range m {
+		m[u] = make([]float64, powC)
+		for v := range m[u] {
+			su, sv := u, v
+			if su > 7 {
+				su = 7
+			}
+			if sv > 7 {
+				sv = 7
+			}
+			m[u][v] = float64(tab.P[su][sv])
+		}
+	}
+	coeffs, _ := transform2D(m)
+	for trial := 0; trial < 150; trial++ {
+		cand := &RangeOpt2D{rows: 7, cols: 7, powR: powR, powC: powC,
+			lookup: map[int64]float64{}, label: "cand"}
+		for len(cand.lookup) < b {
+			k, l := rng.Intn(powR), rng.Intn(powC)
+			key := int64(k)<<32 | int64(l)
+			if _, dup := cand.lookup[key]; !dup {
+				cand.lookup[key] = coeffs[k][l]
+				cand.coeffs = append(cand.coeffs, Coefficient2D{K: k, L: l, Value: coeffs[k][l]})
+			}
+		}
+		if got := SSEAll(tab, cand); got < optSSE-1e-6*(1+optSSE) {
+			t.Fatalf("trial %d: subset SSE %g beats optimal %g", trial, got, optSSE)
+		}
+	}
+}
+
+func TestWave2DValidation(t *testing.T) {
+	g := randGrid(rand.New(rand.NewSource(3)), 4, 4, 5)
+	tab := NewTable(g)
+	if _, err := NewWave2D(g, 0); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := NewRangeOpt2D(tab, -1); err == nil {
+		t.Error("b<0 accepted")
+	}
+	w, _ := NewWave2D(g, 3)
+	if w.StorageWords() != 6 {
+		t.Errorf("storage = %d, want 6", w.StorageWords())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid rect accepted")
+		}
+	}()
+	w.Estimate(Rect{0, 0, 9, 9})
+}
+
+func TestSSEWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(138))
+	g := randGrid(rng, 6, 6, 20)
+	tab := NewTable(g)
+	n := NewNaive2D(tab)
+	all := AllRects(6, 6)
+	if len(all) != 21*21 {
+		t.Fatalf("AllRects count = %d, want 441", len(all))
+	}
+	if got := SSE(tab, n, all); got != SSEAll(tab, n) {
+		t.Errorf("SSE/SSEAll mismatch")
+	}
+}
+
+func TestErrorDecreasesWithBudget2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	g := randGrid(rng, 7, 7, 60)
+	tab := NewTable(g)
+	prev := math.Inf(1)
+	for _, b := range []int{1, 4, 16, 49} {
+		s, err := NewRangeOpt2D(tab, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := SSEAll(tab, s)
+		if got > prev+1e-6 {
+			t.Errorf("SSE grew with budget at b=%d: %g → %g", b, prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestJSONRoundTrip2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	g := randGrid(rng, 9, 13, 40)
+	tab := NewTable(g)
+	eg, err := NewEquiGrid(tab, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWave2D(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := NewRangeOpt2D(tab, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Estimator2D{NewNaive2D(tab), eg, w2, ro} {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, s); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if back.Rows() != s.Rows() || back.Cols() != s.Cols() || back.StorageWords() != s.StorageWords() {
+			t.Fatalf("%s: metadata mismatch", s.Name())
+		}
+		for _, q := range AllRects(9, 13) {
+			if got, want := back.Estimate(q), s.Estimate(q); !approxEq(got, want) {
+				t.Fatalf("%s: Estimate(%+v) = %g, want %g", s.Name(), q, got, want)
+			}
+		}
+	}
+}
+
+func TestReadJSON2DRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{broken`,
+		`{"kind":"nope","rows":3,"cols":3}`,
+		`{"kind":"naive","rows":0,"cols":3}`,
+		`{"kind":"equigrid","rows":3,"cols":3}`, // no cells
+		`{"kind":"equigrid","rows":3,"cols":3,"rowStarts":[1],"colStarts":[0]}`,        // bad start
+		`{"kind":"wave","rows":4,"cols":4,"powR":3,"powC":4}`,                          // non-pow2
+		`{"kind":"wave","rows":4,"cols":4,"powR":2,"powC":4}`,                          // too small
+		`{"kind":"rangeopt","rows":4,"cols":4,"powR":4,"powC":4}`,                      // corner too small
+		`{"kind":"wave","rows":4,"cols":4,"powR":4,"powC":4,"coeffs":[{"K":9,"L":0}]}`, // bad index
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestWriteJSON2DRejectsForeign(t *testing.T) {
+	if err := WriteJSON(&bytes.Buffer{}, fake2D{}); err == nil {
+		t.Error("foreign estimator accepted")
+	}
+}
+
+type fake2D struct{}
+
+func (fake2D) Estimate(q Rect) float64 { return 0 }
+func (fake2D) Rows() int               { return 1 }
+func (fake2D) Cols() int               { return 1 }
+func (fake2D) StorageWords() int       { return 0 }
+func (fake2D) Name() string            { return "fake" }
+
+func TestAVIExactOnProductDistributions(t *testing.T) {
+	// Independent joint distribution: AVI with exact marginals is exact.
+	rowM := []int64{1, 4, 2, 3}
+	colM := []int64{2, 0, 5, 1, 2}
+	counts := make([][]int64, 4)
+	for r := range counts {
+		counts[r] = make([]int64, 5)
+		for c := range counts[r] {
+			counts[r][c] = rowM[r] * colM[c]
+		}
+	}
+	g, _ := New("product", counts)
+	tab := NewTable(g)
+	avi, err := NewAVI(tab, exactMarginal(RowMarginal(g)), exactMarginal(ColMarginal(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range AllRects(4, 5) {
+		if got, want := avi.Estimate(q), tab.SumF(q); !approxEq(got, want) {
+			t.Fatalf("AVI(%+v) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+// exactMarginal wraps a counts vector as a perfect Marginal.
+type exactVec []int64
+
+func exactMarginal(v []int64) Marginal { return exactVec(v) }
+
+func (v exactVec) Estimate(a, b int) float64 {
+	var s int64
+	for i := a; i <= b; i++ {
+		s += v[i]
+	}
+	return float64(s)
+}
+func (v exactVec) StorageWords() int { return len(v) }
+func (v exactVec) Name() string      { return "exact" }
+
+func TestAVIFailsUnderCorrelation(t *testing.T) {
+	// Perfectly diagonal data: marginals are uniform, independence is
+	// maximally wrong on the diagonal cells.
+	n := 8
+	counts := make([][]int64, n)
+	for r := range counts {
+		counts[r] = make([]int64, n)
+		counts[r][r] = 10
+	}
+	g, _ := New("diag", counts)
+	tab := NewTable(g)
+	avi, _ := NewAVI(tab, exactMarginal(RowMarginal(g)), exactMarginal(ColMarginal(g)))
+	// True diagonal cell = 10; AVI says 10·10/80 = 1.25.
+	got := avi.Estimate(Rect{R1: 3, C1: 3, R2: 3, C2: 3})
+	if math.Abs(got-1.25) > 1e-9 {
+		t.Fatalf("AVI diagonal cell = %g, want 1.25", got)
+	}
+	// And a 2-D synopsis with enough budget is far better on the diagonal.
+	ro, err := NewRangeOpt2D(tab, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aviSSE := SSEAll(tab, avi)
+	roSSE := SSEAll(tab, ro)
+	if roSSE >= aviSSE {
+		t.Errorf("2-D synopsis %g not better than AVI %g on correlated data", roSSE, aviSSE)
+	}
+}
+
+func TestAVIValidation(t *testing.T) {
+	g, _ := New("x", [][]int64{{1}})
+	tab := NewTable(g)
+	if _, err := NewAVI(tab, nil, exactMarginal([]int64{1})); err == nil {
+		t.Error("nil marginal accepted")
+	}
+	// Zero-mass grid answers 0 everywhere.
+	zg, _ := New("z", [][]int64{{0, 0}, {0, 0}})
+	ztab := NewTable(zg)
+	avi, err := NewAVI(ztab, exactMarginal(RowMarginal(zg)), exactMarginal(ColMarginal(zg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := avi.Estimate(Rect{0, 0, 1, 1}); got != 0 {
+		t.Errorf("zero-mass AVI = %g", got)
+	}
+}

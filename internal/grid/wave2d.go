@@ -1,0 +1,243 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rangeagg/internal/wavelet"
+)
+
+// transform2D computes the separable 2-D orthonormal Haar transform of a
+// matrix whose dimensions are powers of two: 1-D transform of every row,
+// then of every column. out[k][l] = Σ ψ_k[r]·ψ_l[c]·m[r][c].
+func transform2D(m [][]float64) ([][]float64, error) {
+	rows := len(m)
+	if rows == 0 {
+		return nil, fmt.Errorf("grid: empty matrix")
+	}
+	cols := len(m[0])
+	out := make([][]float64, rows)
+	for r, row := range m {
+		tr, err := wavelet.TransformPow2(row)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = tr
+	}
+	col := make([]float64, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = out[r][c]
+		}
+		tc, err := wavelet.TransformPow2(col)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < rows; r++ {
+			out[r][c] = tc[r]
+		}
+	}
+	return out, nil
+}
+
+// Coefficient2D is one retained 2-D coefficient (2 words: packed index
+// pair + value).
+type Coefficient2D struct {
+	K, L  int // row-basis and column-basis indices
+	Value float64
+}
+
+// selectTop keeps the b largest-magnitude coefficients, optionally
+// restricted to k ≥ 1 and l ≥ 1 (the range-optimal class).
+func selectTop(coeffs [][]float64, b int, skipDCFactors bool) []Coefficient2D {
+	var all []Coefficient2D
+	for k, row := range coeffs {
+		for l, v := range row {
+			if skipDCFactors && (k == 0 || l == 0) {
+				continue
+			}
+			if v != 0 {
+				all = append(all, Coefficient2D{K: k, L: l, Value: v})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ai, aj := math.Abs(all[i].Value), math.Abs(all[j].Value)
+		if ai != aj {
+			return ai > aj
+		}
+		if all[i].K != all[j].K {
+			return all[i].K < all[j].K
+		}
+		return all[i].L < all[j].L
+	})
+	if b > len(all) {
+		b = len(all)
+	}
+	return append([]Coefficient2D(nil), all[:b]...)
+}
+
+// Wave2D is the classical pointwise top-B 2-D Haar synopsis over the
+// count matrix (zero-padded) — the 2-D analogue of TOPBB.
+type Wave2D struct {
+	rows, cols int
+	powR, powC int
+	coeffs     []Coefficient2D
+	label      string
+}
+
+// NewWave2D keeps the b largest 2-D Haar coefficients of the counts.
+func NewWave2D(g *Grid, b int) (*Wave2D, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("grid: need at least one coefficient, got %d", b)
+	}
+	rows, cols := g.Rows(), g.Cols()
+	powR, powC := wavelet.NextPow2(rows), wavelet.NextPow2(cols)
+	m := make([][]float64, powR)
+	for r := range m {
+		m[r] = make([]float64, powC)
+		if r < rows {
+			for c, v := range g.Counts[r] {
+				m[r][c] = float64(v)
+			}
+		}
+	}
+	coeffs, err := transform2D(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Wave2D{
+		rows: rows, cols: cols, powR: powR, powC: powC,
+		coeffs: selectTop(coeffs, b, false), label: "TOPBB-2D",
+	}, nil
+}
+
+// Rows returns the first-dimension domain size.
+func (w *Wave2D) Rows() int { return w.rows }
+
+// Cols returns the second-dimension domain size.
+func (w *Wave2D) Cols() int { return w.cols }
+
+// StorageWords returns 2 words per coefficient.
+func (w *Wave2D) StorageWords() int { return 2 * len(w.coeffs) }
+
+// Name identifies the construction.
+func (w *Wave2D) Name() string { return w.label }
+
+// Estimate answers a rectangle query in O(B): each separable basis
+// function has an O(1) rectangle inner product.
+func (w *Wave2D) Estimate(q Rect) float64 {
+	if !q.Valid(w.rows, w.cols) {
+		panic(fmt.Sprintf("grid: invalid rectangle %+v", q))
+	}
+	var sum float64
+	for _, c := range w.coeffs {
+		rs := wavelet.BasisRangeSum(w.powR, c.K, q.R1, q.R2)
+		if rs == 0 {
+			continue
+		}
+		cs := wavelet.BasisRangeSum(w.powC, c.L, q.C1, q.C2)
+		if cs == 0 {
+			continue
+		}
+		sum += c.Value * rs * cs
+	}
+	return sum
+}
+
+// RangeOpt2D is the provably range-optimal 2-D wavelet synopsis: the top-B
+// coefficients with both factors non-DC of the Haar transform of the
+// corner prefix grid (see the package comment for the optimality
+// argument; exact on power-of-two corner grids, repeat-last padding
+// otherwise).
+type RangeOpt2D struct {
+	rows, cols int
+	powR, powC int
+	coeffs     []Coefficient2D
+	lookup     map[int64]float64
+	label      string
+}
+
+// NewRangeOpt2D builds the range-optimal 2-D synopsis with b coefficients.
+func NewRangeOpt2D(t *Table, b int) (*RangeOpt2D, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("grid: need at least one coefficient, got %d", b)
+	}
+	rows, cols := t.rows, t.cols
+	powR, powC := wavelet.NextPow2(rows+1), wavelet.NextPow2(cols+1)
+	m := make([][]float64, powR)
+	for u := range m {
+		m[u] = make([]float64, powC)
+		su := u
+		if su > rows {
+			su = rows
+		}
+		for v := range m[u] {
+			sv := v
+			if sv > cols {
+				sv = cols
+			}
+			m[u][v] = float64(t.P[su][sv])
+		}
+	}
+	coeffs, err := transform2D(m)
+	if err != nil {
+		return nil, err
+	}
+	s := &RangeOpt2D{
+		rows: rows, cols: cols, powR: powR, powC: powC,
+		coeffs: selectTop(coeffs, b, true), label: "WAVE-RANGEOPT-2D",
+	}
+	s.lookup = make(map[int64]float64, len(s.coeffs))
+	for _, c := range s.coeffs {
+		s.lookup[int64(c.K)<<32|int64(c.L)] = c.Value
+	}
+	return s, nil
+}
+
+// Rows returns the first-dimension domain size.
+func (s *RangeOpt2D) Rows() int { return s.rows }
+
+// Cols returns the second-dimension domain size.
+func (s *RangeOpt2D) Cols() int { return s.cols }
+
+// StorageWords returns 2 words per coefficient.
+func (s *RangeOpt2D) StorageWords() int { return 2 * len(s.coeffs) }
+
+// Name identifies the construction.
+func (s *RangeOpt2D) Name() string { return s.label }
+
+// Coefficients returns the retained coefficients.
+func (s *RangeOpt2D) Coefficients() []Coefficient2D { return s.coeffs }
+
+// corner reconstructs P̂P[u][v] from the O(log²) coefficients whose
+// supports cover (u,v), without allocating. Only k,l ≥ 1 coefficients are
+// ever stored, so the DC paths are skipped.
+func (s *RangeOpt2D) corner(u, v int) float64 {
+	var sum float64
+	for lr := s.powR; lr > 1; lr /= 2 {
+		k := s.powR/lr + u/lr
+		fk := wavelet.BasisAt(s.powR, k, u)
+		if fk == 0 {
+			continue
+		}
+		for lc := s.powC; lc > 1; lc /= 2 {
+			l := s.powC/lc + v/lc
+			if c, ok := s.lookup[int64(k)<<32|int64(l)]; ok {
+				sum += c * fk * wavelet.BasisAt(s.powC, l, v)
+			}
+		}
+	}
+	return sum
+}
+
+// Estimate answers a rectangle query as the four-corner combination of
+// the reconstructed prefix grid, in O(log² N) time.
+func (s *RangeOpt2D) Estimate(q Rect) float64 {
+	if !q.Valid(s.rows, s.cols) {
+		panic(fmt.Sprintf("grid: invalid rectangle %+v", q))
+	}
+	return s.corner(q.R2+1, q.C2+1) - s.corner(q.R1, q.C2+1) -
+		s.corner(q.R2+1, q.C1) + s.corner(q.R1, q.C1)
+}

@@ -1,0 +1,257 @@
+package histogram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Estimator is the answering interface every histogram in this package
+// satisfies.
+type Estimator interface {
+	// Estimate approximates s[a,b] for an inclusive range in [0, N).
+	Estimate(a, b int) float64
+	// N is the domain size.
+	N() int
+	// StorageWords is the paper's space accounting for the summary.
+	StorageWords() int
+	// Name identifies the construction.
+	Name() string
+}
+
+var (
+	_ Estimator = (*Avg)(nil)
+	_ Estimator = (*SAP0)(nil)
+	_ Estimator = (*SAP1)(nil)
+	_ Estimator = (*SAP2)(nil)
+)
+
+// Encoded is the serialization form shared by the JSON and binary codecs.
+type Encoded struct {
+	Kind   string      `json:"kind"` // "avg", "sap0", "sap1"
+	Label  string      `json:"label"`
+	N      int         `json:"n"`
+	Starts []int       `json:"starts"`
+	Mode   int         `json:"mode,omitempty"`
+	Series [][]float64 `json:"series"`
+}
+
+// Encode converts a histogram to its serialization form.
+func Encode(e Estimator) (*Encoded, error) {
+	switch h := e.(type) {
+	case *Avg:
+		return &Encoded{
+			Kind: "avg", Label: h.Label, N: h.Buckets.N,
+			Starts: h.Buckets.Starts, Mode: int(h.Mode),
+			Series: [][]float64{h.Values},
+		}, nil
+	case *SAP0:
+		return &Encoded{
+			Kind: "sap0", Label: h.Label, N: h.Buckets.N,
+			Starts: h.Buckets.Starts,
+			Series: [][]float64{h.Suff, h.Pref},
+		}, nil
+	case *SAP1:
+		return &Encoded{
+			Kind: "sap1", Label: h.Label, N: h.Buckets.N,
+			Starts: h.Buckets.Starts,
+			Series: [][]float64{h.SuffSlope, h.SuffIntercept, h.PrefSlope, h.PrefIntercept},
+		}, nil
+	case *SAP2:
+		return &Encoded{
+			Kind: "sap2", Label: h.Label, N: h.Buckets.N,
+			Starts: h.Buckets.Starts,
+			Series: [][]float64{h.Suff2, h.Suff1, h.Suff0, h.Pref2, h.Pref1, h.Pref0},
+		}, nil
+	default:
+		return nil, fmt.Errorf("histogram: cannot encode %T", e)
+	}
+}
+
+// Decode reconstructs a histogram from its serialization form.
+func Decode(enc *Encoded) (Estimator, error) {
+	b, err := NewBucketing(enc.N, enc.Starts)
+	if err != nil {
+		return nil, err
+	}
+	need := func(k int) error {
+		if len(enc.Series) != k {
+			return fmt.Errorf("histogram: kind %q wants %d series, got %d", enc.Kind, k, len(enc.Series))
+		}
+		return nil
+	}
+	switch enc.Kind {
+	case "avg":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NewAvg(b, enc.Series[0], Rounding(enc.Mode), enc.Label)
+	case "sap0":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewSAP0(b, enc.Series[0], enc.Series[1], enc.Label)
+	case "sap1":
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		return NewSAP1(b, enc.Series[0], enc.Series[1], enc.Series[2], enc.Series[3], enc.Label)
+	case "sap2":
+		if err := need(6); err != nil {
+			return nil, err
+		}
+		return NewSAP2(b, enc.Series[0], enc.Series[1], enc.Series[2],
+			enc.Series[3], enc.Series[4], enc.Series[5], enc.Label)
+	default:
+		return nil, fmt.Errorf("histogram: unknown kind %q", enc.Kind)
+	}
+}
+
+// MarshalJSON / round trips via the default struct tags.
+
+// WriteJSON serializes a histogram as JSON.
+func WriteJSON(w io.Writer, e Estimator) error {
+	enc, err := Encode(e)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(enc)
+}
+
+// ReadJSON deserializes a histogram from JSON.
+func ReadJSON(r io.Reader) (Estimator, error) {
+	var enc Encoded
+	if err := json.NewDecoder(r).Decode(&enc); err != nil {
+		return nil, fmt.Errorf("histogram: decoding JSON: %w", err)
+	}
+	return Decode(&enc)
+}
+
+// binaryMagic guards the compact binary format.
+const binaryMagic = uint32(0x52414747) // "RAGG"
+
+// WriteBinary serializes a histogram in a compact little-endian binary
+// format suitable for the storage engine.
+func WriteBinary(w io.Writer, e Estimator) error {
+	enc, err := Encode(e)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	put := func(v any) {
+		// Errors from bytes.Buffer writes are impossible; binary.Write only
+		// fails on unsupported types, which the fixed call sites exclude.
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			panic(err)
+		}
+	}
+	put(binaryMagic)
+	putString(&buf, enc.Kind)
+	putString(&buf, enc.Label)
+	put(uint32(enc.N))
+	put(uint32(enc.Mode))
+	put(uint32(len(enc.Starts)))
+	for _, s := range enc.Starts {
+		put(uint32(s))
+	}
+	put(uint32(len(enc.Series)))
+	for _, series := range enc.Series {
+		put(uint32(len(series)))
+		for _, v := range series {
+			put(math.Float64bits(v))
+		}
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// ReadBinary deserializes a histogram written by WriteBinary.
+func ReadBinary(r io.Reader) (Estimator, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("histogram: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("histogram: bad magic %#x", magic)
+	}
+	var enc Encoded
+	var err error
+	if enc.Kind, err = getString(r); err != nil {
+		return nil, err
+	}
+	if enc.Label, err = getString(r); err != nil {
+		return nil, err
+	}
+	var n, mode, nStarts uint32
+	for _, p := range []*uint32{&n, &mode, &nStarts} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("histogram: reading header: %w", err)
+		}
+	}
+	const limit = 1 << 26 // refuse absurd sizes from corrupt streams
+	if n > limit || nStarts > limit {
+		return nil, fmt.Errorf("histogram: corrupt sizes n=%d starts=%d", n, nStarts)
+	}
+	enc.N = int(n)
+	enc.Mode = int(mode)
+	enc.Starts = make([]int, nStarts)
+	for i := range enc.Starts {
+		var s uint32
+		if err := binary.Read(r, binary.LittleEndian, &s); err != nil {
+			return nil, fmt.Errorf("histogram: reading starts: %w", err)
+		}
+		enc.Starts[i] = int(s)
+	}
+	var nSeries uint32
+	if err := binary.Read(r, binary.LittleEndian, &nSeries); err != nil {
+		return nil, fmt.Errorf("histogram: reading series count: %w", err)
+	}
+	if nSeries > 8 {
+		return nil, fmt.Errorf("histogram: corrupt series count %d", nSeries)
+	}
+	enc.Series = make([][]float64, nSeries)
+	for i := range enc.Series {
+		var ln uint32
+		if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+			return nil, fmt.Errorf("histogram: reading series length: %w", err)
+		}
+		if ln > limit {
+			return nil, fmt.Errorf("histogram: corrupt series length %d", ln)
+		}
+		series := make([]float64, ln)
+		for j := range series {
+			var bits uint64
+			if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("histogram: reading series value: %w", err)
+			}
+			series[j] = math.Float64frombits(bits)
+		}
+		enc.Series[i] = series
+	}
+	return Decode(&enc)
+}
+
+func putString(buf *bytes.Buffer, s string) {
+	if err := binary.Write(buf, binary.LittleEndian, uint32(len(s))); err != nil {
+		panic(err)
+	}
+	buf.WriteString(s)
+}
+
+func getString(r io.Reader) (string, error) {
+	var ln uint32
+	if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+		return "", fmt.Errorf("histogram: reading string length: %w", err)
+	}
+	if ln > 1<<16 {
+		return "", fmt.Errorf("histogram: corrupt string length %d", ln)
+	}
+	b := make([]byte, ln)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("histogram: reading string: %w", err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,215 @@
+// Package histogram defines the bucketed summary representations studied
+// by the paper — the classical average histogram (OPT-A / A0 / POINT-OPT
+// share it), the SAP0 suffix/average/prefix histogram, and the SAP1
+// higher-order histogram — together with their query-answering procedures,
+// storage accounting, and serialization.
+//
+// Construction (choosing the bucket boundaries and summaries) lives in
+// internal/dp and internal/core; this package only represents and answers.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rangeagg/internal/prefix"
+)
+
+// Bucketing is a partition of the domain [0,n) into contiguous buckets.
+// Starts[i] is the first index of bucket i; Starts[0] must be 0 and the
+// slice strictly increasing below N.
+type Bucketing struct {
+	N      int
+	Starts []int
+}
+
+// NewBucketing validates and returns a bucketing.
+func NewBucketing(n int, starts []int) (*Bucketing, error) {
+	b := &Bucketing{N: n, Starts: starts}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Validate checks the structural invariants.
+func (b *Bucketing) Validate() error {
+	if b.N <= 0 {
+		return fmt.Errorf("histogram: bucketing over empty domain (n=%d)", b.N)
+	}
+	if len(b.Starts) == 0 {
+		return fmt.Errorf("histogram: bucketing with no buckets")
+	}
+	if b.Starts[0] != 0 {
+		return fmt.Errorf("histogram: first bucket must start at 0, got %d", b.Starts[0])
+	}
+	for i := 1; i < len(b.Starts); i++ {
+		if b.Starts[i] <= b.Starts[i-1] {
+			return fmt.Errorf("histogram: starts not strictly increasing at %d", i)
+		}
+	}
+	if last := b.Starts[len(b.Starts)-1]; last >= b.N {
+		return fmt.Errorf("histogram: bucket start %d beyond domain n=%d", last, b.N)
+	}
+	return nil
+}
+
+// NumBuckets returns the number of buckets.
+func (b *Bucketing) NumBuckets() int { return len(b.Starts) }
+
+// Bounds returns the inclusive range [lo,hi] of bucket i.
+func (b *Bucketing) Bounds(i int) (lo, hi int) {
+	lo = b.Starts[i]
+	if i+1 < len(b.Starts) {
+		hi = b.Starts[i+1] - 1
+	} else {
+		hi = b.N - 1
+	}
+	return lo, hi
+}
+
+// Len returns the width of bucket i.
+func (b *Bucketing) Len(i int) int {
+	lo, hi := b.Bounds(i)
+	return hi - lo + 1
+}
+
+// Find returns the index of the bucket containing position pos.
+func (b *Bucketing) Find(pos int) int {
+	if pos < 0 || pos >= b.N {
+		panic(fmt.Sprintf("histogram: position %d outside domain n=%d", pos, b.N))
+	}
+	// sort.Search finds the first start > pos; the bucket is the one before.
+	i := sort.Search(len(b.Starts), func(k int) bool { return b.Starts[k] > pos })
+	return i - 1
+}
+
+// Equal reports whether two bucketings are identical.
+func (b *Bucketing) Equal(o *Bucketing) bool {
+	if b.N != o.N || len(b.Starts) != len(o.Starts) {
+		return false
+	}
+	for i := range b.Starts {
+		if b.Starts[i] != o.Starts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (b *Bucketing) Clone() *Bucketing {
+	s := make([]int, len(b.Starts))
+	copy(s, b.Starts)
+	return &Bucketing{N: b.N, Starts: s}
+}
+
+// EquiWidth returns the bucketing that splits [0,n) into B near-equal
+// width buckets.
+func EquiWidth(n, buckets int) (*Bucketing, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("histogram: need positive bucket count, got %d", buckets)
+	}
+	if buckets > n {
+		buckets = n
+	}
+	starts := make([]int, buckets)
+	for i := range starts {
+		starts[i] = i * n / buckets
+	}
+	// Guard against duplicate starts when buckets ~ n.
+	starts = dedupStarts(starts)
+	return NewBucketing(n, starts)
+}
+
+// EquiDepth returns the bucketing whose boundaries are at the quantiles of
+// the data mass: each bucket holds roughly Total/B records.
+func EquiDepth(tab *prefix.Table, buckets int) (*Bucketing, error) {
+	n := tab.N()
+	if buckets <= 0 {
+		return nil, fmt.Errorf("histogram: need positive bucket count, got %d", buckets)
+	}
+	if buckets > n {
+		buckets = n
+	}
+	total := tab.Total()
+	if total == 0 {
+		return EquiWidth(n, buckets)
+	}
+	starts := make([]int, 0, buckets)
+	starts = append(starts, 0)
+	for i := 1; i < buckets; i++ {
+		target := int64(math.Round(float64(total) * float64(i) / float64(buckets)))
+		// First position whose prefix mass reaches the target.
+		pos := sort.Search(n, func(k int) bool { return tab.PInt[k+1] >= target })
+		if pos >= n {
+			pos = n - 1
+		}
+		if pos <= starts[len(starts)-1] {
+			pos = starts[len(starts)-1] + 1
+		}
+		if pos >= n {
+			break
+		}
+		starts = append(starts, pos)
+	}
+	return NewBucketing(n, starts)
+}
+
+// MaxDiff returns the bucketing whose boundaries sit after the B−1 largest
+// adjacent count differences, the classical MaxDiff heuristic.
+func MaxDiff(counts []int64, buckets int) (*Bucketing, error) {
+	n := len(counts)
+	if n == 0 {
+		return nil, fmt.Errorf("histogram: empty counts")
+	}
+	if buckets <= 0 {
+		return nil, fmt.Errorf("histogram: need positive bucket count, got %d", buckets)
+	}
+	if buckets > n {
+		buckets = n
+	}
+	type gap struct {
+		pos  int // boundary before counts[pos]
+		diff int64
+	}
+	gaps := make([]gap, 0, n-1)
+	for i := 1; i < n; i++ {
+		d := counts[i] - counts[i-1]
+		if d < 0 {
+			d = -d
+		}
+		gaps = append(gaps, gap{pos: i, diff: d})
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if gaps[i].diff != gaps[j].diff {
+			return gaps[i].diff > gaps[j].diff
+		}
+		return gaps[i].pos < gaps[j].pos
+	})
+	cut := buckets - 1
+	if cut > len(gaps) {
+		cut = len(gaps)
+	}
+	starts := make([]int, 0, cut+1)
+	starts = append(starts, 0)
+	for _, g := range gaps[:cut] {
+		starts = append(starts, g.pos)
+	}
+	sort.Ints(starts)
+	starts = dedupStarts(starts)
+	return NewBucketing(n, starts)
+}
+
+func dedupStarts(starts []int) []int {
+	out := starts[:0]
+	last := -1
+	for _, s := range starts {
+		if s != last {
+			out = append(out, s)
+			last = s
+		}
+	}
+	return out
+}

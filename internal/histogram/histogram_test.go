@@ -1,0 +1,418 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/prefix"
+)
+
+const eps = 1e-9
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+func TestBucketingValidate(t *testing.T) {
+	cases := []struct {
+		n      int
+		starts []int
+		ok     bool
+	}{
+		{5, []int{0}, true},
+		{5, []int{0, 2, 4}, true},
+		{5, []int{1, 2}, false},    // must start at 0
+		{5, []int{0, 2, 2}, false}, // not strictly increasing
+		{5, []int{0, 5}, false},    // start beyond domain
+		{0, []int{0}, false},       // empty domain
+		{5, nil, false},            // no buckets
+	}
+	for _, c := range cases {
+		_, err := NewBucketing(c.n, c.starts)
+		if (err == nil) != c.ok {
+			t.Errorf("NewBucketing(%d,%v): err=%v, want ok=%v", c.n, c.starts, err, c.ok)
+		}
+	}
+}
+
+func TestBucketingBoundsAndFind(t *testing.T) {
+	b, err := NewBucketing(10, []int{0, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBounds := [][2]int{{0, 2}, {3, 6}, {7, 9}}
+	for i, w := range wantBounds {
+		lo, hi := b.Bounds(i)
+		if lo != w[0] || hi != w[1] {
+			t.Errorf("Bounds(%d) = (%d,%d), want %v", i, lo, hi, w)
+		}
+	}
+	for pos := 0; pos < 10; pos++ {
+		i := b.Find(pos)
+		lo, hi := b.Bounds(i)
+		if pos < lo || pos > hi {
+			t.Errorf("Find(%d) = bucket %d [%d,%d]", pos, i, lo, hi)
+		}
+	}
+	if b.Len(1) != 4 {
+		t.Errorf("Len(1) = %d, want 4", b.Len(1))
+	}
+}
+
+func TestBucketingFindPanics(t *testing.T) {
+	b, _ := NewBucketing(3, []int{0})
+	defer func() {
+		if recover() == nil {
+			t.Error("Find(-1) should panic")
+		}
+	}()
+	b.Find(-1)
+}
+
+func TestEquiWidth(t *testing.T) {
+	b, err := EquiWidth(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumBuckets() != 4 {
+		t.Fatalf("buckets = %d, want 4", b.NumBuckets())
+	}
+	total := 0
+	for i := 0; i < b.NumBuckets(); i++ {
+		total += b.Len(i)
+	}
+	if total != 10 {
+		t.Errorf("bucket widths sum to %d, want 10", total)
+	}
+	// More buckets than values collapses gracefully.
+	b2, err := EquiWidth(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.NumBuckets() != 3 {
+		t.Errorf("overfull equi-width = %d buckets, want 3", b2.NumBuckets())
+	}
+	if _, err := EquiWidth(5, 0); err == nil {
+		t.Error("zero buckets should fail")
+	}
+}
+
+func TestEquiDepth(t *testing.T) {
+	// All mass at the right: boundaries should crowd right.
+	counts := []int64{0, 0, 0, 0, 10, 10, 10, 10}
+	tab := prefix.NewTable(counts)
+	b, err := EquiDepth(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Starts[1] < 4 {
+		t.Errorf("equi-depth ignored mass skew: starts=%v", b.Starts)
+	}
+	// Zero data degrades to equi-width.
+	zero := prefix.NewTable(make([]int64, 8))
+	bz, err := EquiDepth(zero, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bz.NumBuckets() != 4 {
+		t.Errorf("zero-mass equi-depth = %d buckets", bz.NumBuckets())
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	counts := []int64{1, 1, 100, 100, 1, 1}
+	b, err := MaxDiff(counts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two jumps are at positions 2 and 4.
+	want := []int{0, 2, 4}
+	if len(b.Starts) != len(want) {
+		t.Fatalf("starts = %v, want %v", b.Starts, want)
+	}
+	for i := range want {
+		if b.Starts[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", b.Starts, want)
+		}
+	}
+	if _, err := MaxDiff(nil, 3); err == nil {
+		t.Error("empty counts should fail")
+	}
+}
+
+// bruteEstimateAvg evaluates the paper's formula (1) directly.
+func bruteEstimateAvg(b *Bucketing, values []float64, a, bb int) float64 {
+	var s float64
+	for i := a; i <= bb; i++ {
+		s += values[b.Find(i)]
+	}
+	return s
+}
+
+func TestAvgEstimateMatchesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	counts := make([]int64, 20)
+	for i := range counts {
+		counts[i] = rng.Int63n(40)
+	}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(20, []int{0, 4, 9, 15})
+	h, err := NewAvgFromBounds(tab, b, RoundNone, "OPT-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 20; a++ {
+		for bb := a; bb < 20; bb++ {
+			want := bruteEstimateAvg(b, h.Values, a, bb)
+			if got := h.Estimate(a, bb); !approxEq(got, want) {
+				t.Fatalf("Estimate(%d,%d) = %g, want %g", a, bb, got, want)
+			}
+		}
+	}
+}
+
+func TestAvgCumExactAtBoundaries(t *testing.T) {
+	counts := []int64{5, 1, 7, 2, 9, 4}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(6, []int{0, 2, 4})
+	h, _ := NewAvgFromBounds(tab, b, RoundNone, "OPT-A")
+	for _, boundary := range []int{0, 2, 4, 6} {
+		if got := h.CumEstimate(boundary); !approxEq(got, float64(tab.PInt[boundary])) {
+			t.Errorf("CumEstimate(%d) = %g, want %d", boundary, got, tab.PInt[boundary])
+		}
+	}
+}
+
+func TestAvgRoundingModes(t *testing.T) {
+	counts := []int64{1, 2}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(2, []int{0})
+	// avg = 1.5; query [0,0] unrounded = 1.5.
+	h, _ := NewAvgFromBounds(tab, b, RoundNone, "x")
+	if got := h.Estimate(0, 0); !approxEq(got, 1.5) {
+		t.Fatalf("unrounded = %g, want 1.5", got)
+	}
+	h.Mode = RoundAnswer
+	got := h.Estimate(0, 0)
+	if got != 1 && got != 2 {
+		t.Fatalf("RoundAnswer = %g, want integral neighbour", got)
+	}
+	h.Mode = RoundCumulative
+	got = h.Estimate(0, 0)
+	if got != math.Trunc(got) {
+		t.Fatalf("RoundCumulative = %g, want integral", got)
+	}
+	// Whole-domain queries stay exact under cumulative rounding.
+	if got := h.Estimate(0, 1); got != 3 {
+		t.Fatalf("whole domain = %g, want 3", got)
+	}
+}
+
+func TestNaive(t *testing.T) {
+	tab := prefix.NewTable([]int64{2, 4, 6})
+	h := NewNaive(tab)
+	if h.StorageWords() != 1 {
+		t.Errorf("naive storage = %d, want 1", h.StorageWords())
+	}
+	if got := h.Estimate(0, 2); !approxEq(got, 12) {
+		t.Errorf("naive full-range = %g, want 12", got)
+	}
+	if got := h.Estimate(1, 1); !approxEq(got, 4) {
+		t.Errorf("naive point = %g, want 4", got)
+	}
+}
+
+func TestAvgStorage(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3, 4})
+	b, _ := NewBucketing(4, []int{0, 2})
+	h, _ := NewAvgFromBounds(tab, b, RoundNone, "x")
+	if h.StorageWords() != 4 {
+		t.Errorf("storage = %d, want 2B=4", h.StorageWords())
+	}
+}
+
+func TestAvgSetValues(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3, 4})
+	b, _ := NewBucketing(4, []int{0, 2})
+	h, _ := NewAvgFromBounds(tab, b, RoundNone, "x")
+	if err := h.SetValues([]float64{1}); err == nil {
+		t.Error("wrong length should fail")
+	}
+	if err := h.SetValues([]float64{2, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Estimate(0, 3); !approxEq(got, 2*2+2*5) {
+		t.Errorf("after SetValues estimate = %g, want 14", got)
+	}
+}
+
+// bruteSAP0 computes the SAP0 answer from the definition with summaries
+// given, for cross-checking Estimate.
+func TestSAP0DerivedAvgIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	counts := make([]int64, 24)
+	for i := range counts {
+		counts[i] = rng.Int63n(30)
+	}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(24, []int{0, 5, 11, 17})
+	h, err := NewSAP0FromBounds(tab, b, "SAP0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.NumBuckets(); i++ {
+		lo, hi := b.Bounds(i)
+		if got, want := h.Avg(i), tab.Avg(lo, hi); !approxEq(got, want) {
+			t.Errorf("derived avg(%d) = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestSAP0EstimateStructure(t *testing.T) {
+	counts := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(8, []int{0, 3, 6})
+	h, _ := NewSAP0FromBounds(tab, b, "SAP0")
+	// Intra-bucket query uses avg × width.
+	if got, want := h.Estimate(0, 1), 2*tab.Avg(0, 2); !approxEq(got, want) {
+		t.Errorf("intra = %g, want %g", got, want)
+	}
+	// Inter-bucket response depends only on the buckets, not on a and b.
+	if got1, got2 := h.Estimate(0, 6), h.Estimate(2, 7); !approxEq(got1, got2) {
+		t.Errorf("SAP0 inter-bucket answers differ within the same bucket pair: %g vs %g", got1, got2)
+	}
+	// And equals suff + middle + pref.
+	want := h.Suff[0] + float64(b.Len(1))*h.Avg(1) + h.Pref[2]
+	if got := h.Estimate(1, 7); !approxEq(got, want) {
+		t.Errorf("inter = %g, want %g", got, want)
+	}
+}
+
+func TestSAP1DerivedAvgIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	counts := make([]int64, 24)
+	for i := range counts {
+		counts[i] = rng.Int63n(30)
+	}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(24, []int{0, 5, 11, 17})
+	h, err := NewSAP1FromBounds(tab, b, "SAP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.NumBuckets(); i++ {
+		lo, hi := b.Bounds(i)
+		if got, want := h.Avg(i), tab.Avg(lo, hi); !approxEq(got, want) {
+			t.Errorf("derived avg(%d) = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestSAP1GeneralizesAvg(t *testing.T) {
+	// With suff' = pref' = bucket avg and suff = pref = 0, SAP1's answers
+	// must coincide with the unrounded OPT-A answers (the paper's
+	// observation at the end of §2.2.2).
+	rng := rand.New(rand.NewSource(34))
+	counts := make([]int64, 16)
+	for i := range counts {
+		counts[i] = rng.Int63n(20)
+	}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(16, []int{0, 4, 9, 13})
+	avgH, _ := NewAvgFromBounds(tab, b, RoundNone, "OPT-A")
+	nb := b.NumBuckets()
+	slopes := make([]float64, nb)
+	zeros := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		slopes[i] = avgH.Values[i]
+	}
+	ss := append([]float64(nil), slopes...)
+	ps := append([]float64(nil), slopes...)
+	h, err := NewSAP1(b, ss, zeros, ps, append([]float64(nil), zeros...), "SAP1-as-OPT-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 16; a++ {
+		for bb := a; bb < 16; bb++ {
+			if got, want := h.Estimate(a, bb), avgH.Estimate(a, bb); !approxEq(got, want) {
+				t.Fatalf("Estimate(%d,%d) = %g, want %g", a, bb, got, want)
+			}
+		}
+	}
+}
+
+func TestSAP1SuffixModelUsed(t *testing.T) {
+	counts := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(8, []int{0, 3, 6})
+	h, _ := NewSAP1FromBounds(tab, b, "SAP1")
+	// Unlike SAP0, SAP1's inter-bucket answer moves with a.
+	want := h.SuffSlope[0]*3 + h.SuffIntercept[0] + float64(b.Len(1))*h.Avg(1) +
+		h.PrefSlope[2]*2 + h.PrefIntercept[2]
+	if got := h.Estimate(0, 7); !approxEq(got, want) {
+		t.Errorf("Estimate(0,7) = %g, want %g", got, want)
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3, 4, 5, 6})
+	b, _ := NewBucketing(6, []int{0, 2, 4})
+	s0, _ := NewSAP0FromBounds(tab, b, "SAP0")
+	s1, _ := NewSAP1FromBounds(tab, b, "SAP1")
+	av, _ := NewAvgFromBounds(tab, b, RoundNone, "OPT-A")
+	if av.StorageWords() != 6 || s0.StorageWords() != 9 || s1.StorageWords() != 15 {
+		t.Errorf("storage = %d/%d/%d, want 6/9/15", av.StorageWords(), s0.StorageWords(), s1.StorageWords())
+	}
+}
+
+func TestSAP2DerivedAvgIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(224))
+	counts := make([]int64, 24)
+	for i := range counts {
+		counts[i] = rng.Int63n(30)
+	}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(24, []int{0, 5, 11, 17})
+	h, err := NewSAP2FromBounds(tab, b, "SAP2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b.NumBuckets(); i++ {
+		lo, hi := b.Bounds(i)
+		if got, want := h.Avg(i), tab.Avg(lo, hi); !approxEq(got, want) {
+			t.Errorf("derived avg(%d) = %g, want %g", i, got, want)
+		}
+	}
+	if h.StorageWords() != 7*4 {
+		t.Errorf("storage = %d, want 28", h.StorageWords())
+	}
+}
+
+func TestSAP2ExactOnQuadraticPrefixData(t *testing.T) {
+	// Counts that are a linear function of the index give quadratic prefix
+	// sums; SAP2's suffix/prefix models then fit every query in a single
+	// bucket *exactly* (inter-bucket; intra still uses the average).
+	counts := make([]int64, 12)
+	for i := range counts {
+		counts[i] = int64(2*i + 1)
+	}
+	tab := prefix.NewTable(counts)
+	b, _ := NewBucketing(12, []int{0, 4, 8})
+	h, err := NewSAP2FromBounds(tab, b, "SAP2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 12; a++ {
+		for bb := a; bb < 12; bb++ {
+			if h.Buckets.Find(a) == h.Buckets.Find(bb) {
+				continue // intra-bucket answers use the average
+			}
+			if got, want := h.Estimate(a, bb), tab.SumF(a, bb); !approxEq(got, want) {
+				t.Fatalf("Estimate(%d,%d) = %g, want %g", a, bb, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package histogram
+
+import "fmt"
+
+// MergeAvg combines two average histograms built over the *same domain*
+// from two disjoint record sets (shards): the result summarizes the
+// summed distribution A₁+A₂ exactly as well as its inputs — it refines to
+// the union of the boundary sets and adds the per-bucket values, so for
+// every range, estimate_merged = estimate₁ + estimate₂ exactly (both
+// answers are linear in the stored values). The price is up to B₁+B₂−1
+// buckets; callers wanting a budget re-run construction on merged data.
+//
+// Rounding modes other than RoundNone are rejected: rounded answers do
+// not add exactly.
+func MergeAvg(a, b *Avg) (*Avg, error) {
+	if a.Buckets.N != b.Buckets.N {
+		return nil, fmt.Errorf("histogram: merge over different domains %d vs %d", a.Buckets.N, b.Buckets.N)
+	}
+	if a.Mode != RoundNone || b.Mode != RoundNone {
+		return nil, fmt.Errorf("histogram: merge requires unrounded answering")
+	}
+	n := a.Buckets.N
+	// Union of starts (both contain 0, both sorted).
+	starts := make([]int, 0, len(a.Buckets.Starts)+len(b.Buckets.Starts))
+	i, j := 0, 0
+	for i < len(a.Buckets.Starts) || j < len(b.Buckets.Starts) {
+		var next int
+		switch {
+		case i >= len(a.Buckets.Starts):
+			next = b.Buckets.Starts[j]
+			j++
+		case j >= len(b.Buckets.Starts):
+			next = a.Buckets.Starts[i]
+			i++
+		case a.Buckets.Starts[i] <= b.Buckets.Starts[j]:
+			next = a.Buckets.Starts[i]
+			if b.Buckets.Starts[j] == next {
+				j++
+			}
+			i++
+		default:
+			next = b.Buckets.Starts[j]
+			j++
+		}
+		if len(starts) == 0 || starts[len(starts)-1] != next {
+			starts = append(starts, next)
+		}
+	}
+	bk, err := NewBucketing(n, starts)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, bk.NumBuckets())
+	for k := range values {
+		lo, _ := bk.Bounds(k)
+		values[k] = a.Values[a.Buckets.Find(lo)] + b.Values[b.Buckets.Find(lo)]
+	}
+	return NewAvg(bk, values, RoundNone, a.Label+"+"+b.Label)
+}

@@ -1,0 +1,102 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/prefix"
+)
+
+func TestMergeAvgIsExactSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(25)
+		c1 := make([]int64, n)
+		c2 := make([]int64, n)
+		for i := range c1 {
+			c1[i] = rng.Int63n(40)
+			c2[i] = rng.Int63n(40)
+		}
+		t1 := prefix.NewTable(c1)
+		t2 := prefix.NewTable(c2)
+		b1 := randStarts(rng, n)
+		b2 := randStarts(rng, n)
+		bk1, _ := NewBucketing(n, b1)
+		bk2, _ := NewBucketing(n, b2)
+		h1, _ := NewAvgFromBounds(t1, bk1, RoundNone, "shard1")
+		h2, _ := NewAvgFromBounds(t2, bk2, RoundNone, "shard2")
+		merged, err := MergeAvg(h1, h2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				want := h1.Estimate(a, b) + h2.Estimate(a, b)
+				if got := merged.Estimate(a, b); !approxEq(got, want) {
+					t.Fatalf("trial %d: merged(%d,%d) = %g, want %g", trial, a, b, got, want)
+				}
+			}
+		}
+		if nb := merged.Buckets.NumBuckets(); nb > bk1.NumBuckets()+bk2.NumBuckets()-1 {
+			t.Fatalf("merged buckets %d exceed union bound", nb)
+		}
+	}
+}
+
+func randStarts(rng *rand.Rand, n int) []int {
+	starts := []int{0}
+	for pos := 1; pos < n; pos++ {
+		if rng.Intn(4) == 0 {
+			starts = append(starts, pos)
+		}
+	}
+	return starts
+}
+
+func TestMergeAvgValidation(t *testing.T) {
+	t1 := prefix.NewTable([]int64{1, 2, 3})
+	t2 := prefix.NewTable([]int64{1, 2})
+	bk1, _ := NewBucketing(3, []int{0})
+	bk2, _ := NewBucketing(2, []int{0})
+	h1, _ := NewAvgFromBounds(t1, bk1, RoundNone, "a")
+	h2, _ := NewAvgFromBounds(t2, bk2, RoundNone, "b")
+	if _, err := MergeAvg(h1, h2); err == nil {
+		t.Error("different domains accepted")
+	}
+	h3, _ := NewAvgFromBounds(t1, bk1, RoundAnswer, "c")
+	h4, _ := NewAvgFromBounds(t1, bk1, RoundNone, "d")
+	if _, err := MergeAvg(h3, h4); err == nil {
+		t.Error("rounded input accepted")
+	}
+}
+
+func TestMergeAvgPreservesExactAverages(t *testing.T) {
+	// When each shard's data is constant within its own buckets (so the
+	// stored averages describe every sub-range exactly), the merged values
+	// are the true averages of the summed distribution on the refined
+	// bucketing. (In general only estimate additivity holds — the test
+	// above.)
+	c1 := []int64{4, 4, 0, 0, 8, 8}
+	c2 := []int64{1, 1, 1, 3, 3, 3}
+	t1 := prefix.NewTable(c1)
+	t2 := prefix.NewTable(c2)
+	bk1, _ := NewBucketing(6, []int{0, 2, 4})
+	bk2, _ := NewBucketing(6, []int{0, 3})
+	h1, _ := NewAvgFromBounds(t1, bk1, RoundNone, "s1")
+	h2, _ := NewAvgFromBounds(t2, bk2, RoundNone, "s2")
+	merged, err := MergeAvg(h1, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := make([]int64, 6)
+	for i := range sum {
+		sum[i] = c1[i] + c2[i]
+	}
+	ts := prefix.NewTable(sum)
+	for k := 0; k < merged.Buckets.NumBuckets(); k++ {
+		lo, hi := merged.Buckets.Bounds(k)
+		if want := ts.Avg(lo, hi); !approxEq(merged.Values[k], want) {
+			t.Errorf("bucket %d value %g, want true average %g", k, merged.Values[k], want)
+		}
+	}
+}

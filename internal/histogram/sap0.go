@@ -1,0 +1,103 @@
+package histogram
+
+import (
+	"fmt"
+
+	"rangeagg/internal/prefix"
+)
+
+// SAP0 is the paper's suffix/average/prefix histogram (§2.2.1). Each
+// bucket i carries a suffix summary suff(i) — the average of the bucket's
+// suffix sums — and a prefix summary pref(i) — the average of its prefix
+// sums. An inter-bucket query (a,b) is answered by
+//
+//	suff(buck(a)) + Σ_middle bucketTotal + pref(buck(b))
+//
+// independent of where inside their buckets a and b fall; an intra-bucket
+// query uses the bucket average times the query width. The bucket average
+// (and hence the exact bucket total used for the middle) is recovered from
+// the stored summaries: avg = (pref + suff) / (m + 1), because the mean of
+// prefix sums plus the mean of suffix sums equals s·(m+1)/m for a bucket
+// with total s and width m. Storage: 3B words (Theorem 7).
+type SAP0 struct {
+	Buckets *Bucketing
+	Suff    []float64
+	Pref    []float64
+	// Label names the construction ("SAP0" for the optimal DP).
+	Label string
+
+	avg []float64 // derived
+	cum []float64 // derived: cumulative bucket totals
+}
+
+// NewSAP0 assembles a SAP0 histogram from its stored summaries.
+func NewSAP0(b *Bucketing, suff, pref []float64, label string) (*SAP0, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if len(suff) != b.NumBuckets() || len(pref) != b.NumBuckets() {
+		return nil, fmt.Errorf("histogram: SAP0 wants %d summaries, got %d/%d",
+			b.NumBuckets(), len(suff), len(pref))
+	}
+	h := &SAP0{Buckets: b, Suff: suff, Pref: pref, Label: label}
+	h.derive()
+	return h, nil
+}
+
+// NewSAP0FromBounds computes the optimal SAP0 summaries (Lemma 5 part 2:
+// the averages of bucket suffix and prefix sums) for the given bucketing.
+func NewSAP0FromBounds(tab *prefix.Table, b *Bucketing, label string) (*SAP0, error) {
+	if b.N != tab.N() {
+		return nil, fmt.Errorf("histogram: bucketing n=%d does not match data n=%d", b.N, tab.N())
+	}
+	nb := b.NumBuckets()
+	suff := make([]float64, nb)
+	pref := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		lo, hi := b.Bounds(i)
+		suff[i] = tab.SuffixMean(lo, hi)
+		pref[i] = tab.PrefixMean(lo, hi)
+	}
+	return NewSAP0(b, suff, pref, label)
+}
+
+func (h *SAP0) derive() {
+	nb := h.Buckets.NumBuckets()
+	h.avg = make([]float64, nb)
+	h.cum = make([]float64, nb+1)
+	for i := 0; i < nb; i++ {
+		m := float64(h.Buckets.Len(i))
+		h.avg[i] = (h.Pref[i] + h.Suff[i]) / (m + 1)
+		h.cum[i+1] = h.cum[i] + m*h.avg[i]
+	}
+}
+
+// N returns the domain size.
+func (h *SAP0) N() int { return h.Buckets.N }
+
+// Name identifies the construction.
+func (h *SAP0) Name() string { return h.Label }
+
+// StorageWords returns 3B per Theorem 7.
+func (h *SAP0) StorageWords() int { return 3 * h.Buckets.NumBuckets() }
+
+// Avg returns the derived average of bucket i.
+func (h *SAP0) Avg(i int) float64 { return h.avg[i] }
+
+// Estimate answers the range query [a,b].
+func (h *SAP0) Estimate(a, b int) float64 {
+	if a < 0 || b >= h.Buckets.N || a > b {
+		panic(fmt.Sprintf("histogram: invalid range [%d,%d] for n=%d", a, b, h.Buckets.N))
+	}
+	ba, bb := h.Buckets.Find(a), h.Buckets.Find(b)
+	if ba == bb {
+		return float64(b-a+1) * h.avg[ba]
+	}
+	middle := h.cum[bb] - h.cum[ba+1]
+	return h.Suff[ba] + middle + h.Pref[bb]
+}
+
+// String summarizes the histogram.
+func (h *SAP0) String() string {
+	return fmt.Sprintf("%s{buckets=%d words=%d}", h.Label, h.Buckets.NumBuckets(), h.StorageWords())
+}

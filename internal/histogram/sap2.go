@@ -1,0 +1,123 @@
+package histogram
+
+import (
+	"fmt"
+
+	"rangeagg/internal/prefix"
+)
+
+// SAP2 extends the paper's §2.2.2 ("more generally, we can also store
+// other values") one degree further than SAP1: each bucket stores
+// quadratic models for its suffix and prefix sums,
+//
+//	s[a, B>] ≈ S2·ℓ² + S1·ℓ + S0   (ℓ = B> − a + 1)
+//	s[B<, b] ≈ P2·ℓ² + P1·ℓ + P0   (ℓ = b − B< + 1)
+//
+// fitted by least squares. An intercept-included LS fit has residuals
+// summing to zero, so the decomposition lemma's cross-term cancellation
+// still applies and the O(n²B) dynamic program remains exact for this
+// representation. Storage: 7B words (boundary + six model coefficients).
+type SAP2 struct {
+	Buckets *Bucketing
+	Suff2   []float64
+	Suff1   []float64
+	Suff0   []float64
+	Pref2   []float64
+	Pref1   []float64
+	Pref0   []float64
+	Label   string
+
+	avg []float64
+	cum []float64
+}
+
+// NewSAP2 assembles a SAP2 histogram from stored summaries.
+func NewSAP2(b *Bucketing, s2, s1, s0, p2, p1, p0 []float64, label string) (*SAP2, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	nb := b.NumBuckets()
+	for _, s := range [][]float64{s2, s1, s0, p2, p1, p0} {
+		if len(s) != nb {
+			return nil, fmt.Errorf("histogram: SAP2 wants %d summaries per kind", nb)
+		}
+	}
+	h := &SAP2{Buckets: b, Suff2: s2, Suff1: s1, Suff0: s0,
+		Pref2: p2, Pref1: p1, Pref0: p0, Label: label}
+	h.derive()
+	return h, nil
+}
+
+// NewSAP2FromBounds computes the optimal (least-squares) SAP2 summaries
+// for the given bucketing.
+func NewSAP2FromBounds(tab *prefix.Table, b *Bucketing, label string) (*SAP2, error) {
+	if b.N != tab.N() {
+		return nil, fmt.Errorf("histogram: bucketing n=%d does not match data n=%d", b.N, tab.N())
+	}
+	nb := b.NumBuckets()
+	s2 := make([]float64, nb)
+	s1 := make([]float64, nb)
+	s0 := make([]float64, nb)
+	p2 := make([]float64, nb)
+	p1 := make([]float64, nb)
+	p0 := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		lo, hi := b.Bounds(i)
+		s2[i], s1[i], s0[i] = tab.SuffixQuad(lo, hi)
+		p2[i], p1[i], p0[i] = tab.PrefixQuad(lo, hi)
+	}
+	return NewSAP2(b, s2, s1, s0, p2, p1, p0, label)
+}
+
+func (h *SAP2) derive() {
+	nb := h.Buckets.NumBuckets()
+	h.avg = make([]float64, nb)
+	h.cum = make([]float64, nb+1)
+	for i := 0; i < nb; i++ {
+		m := float64(h.Buckets.Len(i))
+		// Mean of the fitted model over ℓ = 1..m equals the mean of the
+		// true prefix/suffix sums (LS with intercept preserves the mean).
+		meanL := (m + 1) / 2
+		meanL2 := (m + 1) * (2*m + 1) / 6
+		suff0 := h.Suff2[i]*meanL2 + h.Suff1[i]*meanL + h.Suff0[i]
+		pref0 := h.Pref2[i]*meanL2 + h.Pref1[i]*meanL + h.Pref0[i]
+		h.avg[i] = (pref0 + suff0) / (m + 1)
+		h.cum[i+1] = h.cum[i] + m*h.avg[i]
+	}
+}
+
+// N returns the domain size.
+func (h *SAP2) N() int { return h.Buckets.N }
+
+// Name identifies the construction.
+func (h *SAP2) Name() string { return h.Label }
+
+// StorageWords returns 7B.
+func (h *SAP2) StorageWords() int { return 7 * h.Buckets.NumBuckets() }
+
+// Avg returns the derived average of bucket i.
+func (h *SAP2) Avg(i int) float64 { return h.avg[i] }
+
+// Estimate answers the range query [a,b].
+func (h *SAP2) Estimate(a, b int) float64 {
+	if a < 0 || b >= h.Buckets.N || a > b {
+		panic(fmt.Sprintf("histogram: invalid range [%d,%d] for n=%d", a, b, h.Buckets.N))
+	}
+	ba, bb := h.Buckets.Find(a), h.Buckets.Find(b)
+	if ba == bb {
+		return float64(b-a+1) * h.avg[ba]
+	}
+	_, hiA := h.Buckets.Bounds(ba)
+	loB, _ := h.Buckets.Bounds(bb)
+	ls := float64(hiA - a + 1)
+	lp := float64(b - loB + 1)
+	suffix := h.Suff2[ba]*ls*ls + h.Suff1[ba]*ls + h.Suff0[ba]
+	prefixPart := h.Pref2[bb]*lp*lp + h.Pref1[bb]*lp + h.Pref0[bb]
+	middle := h.cum[bb] - h.cum[ba+1]
+	return suffix + middle + prefixPart
+}
+
+// String summarizes the histogram.
+func (h *SAP2) String() string {
+	return fmt.Sprintf("%s{buckets=%d words=%d}", h.Label, h.Buckets.NumBuckets(), h.StorageWords())
+}

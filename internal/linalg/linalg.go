@@ -1,0 +1,322 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the re-optimization step of the paper (solving 2xQ + g = 0 for the
+// optimal per-bucket summary values): dense matrices, LU decomposition with
+// partial pivoting, and Cholesky decomposition for symmetric positive
+// (semi-)definite systems. Everything is stdlib-only and written for the
+// B×B problem sizes of histogram synopses (tens to hundreds of rows).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a system has no unique solution.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// ErrNotSPD is returned when Cholesky is attempted on a matrix that is not
+// symmetric positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices (which must be equal length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows needs a non-empty rectangle")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i,j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %d vs %d", m.Cols, b.Rows))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Add(i, j, a*b.At(k, j))
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// IsSymmetric reports whether the matrix is square and symmetric within
+// tolerance tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SolveLU solves A·x = b by LU decomposition with partial pivoting. A is
+// not modified. Returns ErrSingular when no unique solution exists.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: SolveLU needs a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d does not match matrix size %d", len(b), n)
+	}
+	lu := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Pivot: largest absolute value in the column at or below the diagonal.
+		pivot := col
+		maxAbs := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				v1, v2 := lu.At(col, j), lu.At(pivot, j)
+				lu.Set(col, j, v2)
+				lu.Set(pivot, j, v1)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+			perm[col], perm[pivot] = perm[pivot], perm[col]
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			lu.Set(r, col, f)
+			for j := col + 1; j < n; j++ {
+				lu.Add(r, j, -f*lu.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution on the upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu.At(i, j) * x[j]
+		}
+		x[i] = s / lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive definite A. Returns ErrNotSPD otherwise.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky needs a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-8 * matScale(a)) {
+		return nil, ErrNotSPD
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrNotSPD
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// matScale returns a magnitude scale for tolerance decisions.
+func matScale(a *Matrix) float64 {
+	s := 1.0
+	for _, v := range a.Data {
+		if av := math.Abs(v); av > s {
+			s = av
+		}
+	}
+	return s
+}
+
+// SolveCholesky solves A·x = b for symmetric positive definite A via
+// Cholesky, falling back with ErrNotSPD so callers can retry with LU.
+func SolveCholesky(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d does not match matrix size %d", len(b), n)
+	}
+	// Forward solve L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSymmetric solves A·x = b preferring Cholesky and falling back to LU
+// with a tiny ridge when A is only positive semi-definite (which happens
+// for degenerate bucketings, e.g. buckets never intersected separately by
+// any query class).
+func SolveSymmetric(a *Matrix, b []float64) ([]float64, error) {
+	if x, err := SolveCholesky(a, b); err == nil {
+		return x, nil
+	}
+	if x, err := SolveLU(a, b); err == nil {
+		return x, nil
+	}
+	// Ridge fallback: A + λI is SPD for PSD A and small λ > 0.
+	ridge := a.Clone()
+	lambda := 1e-9 * matScale(a)
+	if lambda == 0 {
+		lambda = 1e-9
+	}
+	for i := 0; i < ridge.Rows; i++ {
+		ridge.Add(i, i, lambda)
+	}
+	return SolveCholesky(ridge, b)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Residual returns ‖A·x − b‖₂, a convenience for solver verification.
+func Residual(a *Matrix, x, b []float64) float64 {
+	ax := a.MulVec(x)
+	var s float64
+	for i := range ax {
+		d := ax[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

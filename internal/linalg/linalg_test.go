@@ -1,0 +1,246 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At(0,1) = %g, want 7", m.At(0, 1))
+	}
+	c := m.Clone()
+	c.Set(0, 1, 0)
+	if m.At(0, 1) != 7 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for 0×3")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRowsAndTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 2 || tr.Cols != 3 || tr.At(0, 2) != 5 || tr.At(1, 0) != 2 {
+		t.Fatalf("Transpose wrong: %+v", tr)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	y := m.MulVec([]float64{5, 6})
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", y)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	p := m.Mul(Identity(2))
+	for i := range p.Data {
+		if p.Data[i] != m.Data[i] {
+			t.Fatalf("M·I != M at %d", i)
+		}
+	}
+}
+
+func TestSolveLUKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLU(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLUNeedsPivoting(t *testing.T) {
+	// Zero on the first diagonal position requires a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLU(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveLURejectsBadShapes(t *testing.T) {
+	if _, err := SolveLU(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square should fail")
+	}
+	if _, err := SolveLU(Identity(3), []float64{1}); err == nil {
+		t.Error("mismatched rhs should fail")
+	}
+}
+
+func TestCholeskyFactorReproduces(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L·Lᵀ must reproduce A.
+	p := l.Mul(l.Transpose())
+	for i := range a.Data {
+		if math.Abs(p.Data[i]-a.Data[i]) > 1e-9 {
+			t.Fatalf("L·Lᵀ != A at %d: %g vs %g", i, p.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestCholeskyRejects(t *testing.T) {
+	if _, err := Cholesky(FromRows([][]float64{{1, 2}, {3, 4}})); !errors.Is(err, ErrNotSPD) {
+		t.Error("asymmetric matrix should be rejected")
+	}
+	if _, err := Cholesky(FromRows([][]float64{{-1, 0}, {0, 1}})); !errors.Is(err, ErrNotSPD) {
+		t.Error("indefinite matrix should be rejected")
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should fail")
+	}
+}
+
+// randSPD builds Mᵀ·M + εI which is SPD with probability 1.
+func randSPD(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	spd := m.Transpose().Mul(m)
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, 0.1)
+	}
+	return spd
+}
+
+func TestSolveCholeskyRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := SolveCholesky(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r := Residual(a, x, b); r > 1e-6 {
+			t.Fatalf("trial %d: residual %g", trial, r)
+		}
+	}
+}
+
+func TestSolveSymmetricFallsBackOnPSD(t *testing.T) {
+	// Rank-1 PSD matrix: Cholesky fails, LU fails, ridge succeeds with a
+	// least-squares-flavoured answer. The point is: no error, tiny residual
+	// in the range of A.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	b := []float64{2, 2} // in the range of A
+	x, err := SolveSymmetric(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, x, b); r > 1e-3 {
+		t.Fatalf("residual %g too large", r)
+	}
+}
+
+func TestSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err1 := SolveLU(a, b)
+		x2, err2 := SolveCholesky(a, b)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("solver errors: %v %v", err1, err2)
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-6*(1+math.Abs(x1[i])) {
+				t.Fatalf("solutions disagree at %d: %g vs %g", i, x1[i], x2[i])
+			}
+		}
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Error("Norm2 wrong")
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+// Property: for random SPD systems, solving then multiplying recovers b.
+func TestQuickSolveRecoversRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randSPD(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveSymmetric(a, b)
+		if err != nil {
+			return false
+		}
+		return Residual(a, x, b) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

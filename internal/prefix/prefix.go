@@ -1,0 +1,487 @@
+// Package prefix provides the prefix-sum substrate shared by every synopsis
+// construction algorithm in this repository.
+//
+// For a distribution A[0..n-1] it materializes the prefix array
+// P[0..n] (P[0] = 0, P[t] = A[0]+…+A[t-1]) together with cumulative moment
+// tables over P, so that all the per-bucket statistics needed by the
+// dynamic programs of the paper — bucket averages, suffix-sum and
+// prefix-sum variances (SAP0), regression residuals (SAP1), and the
+// intra-bucket range-SSE of an average fit — are available in O(1) after
+// O(n) preprocessing.
+//
+// The central identity (DESIGN.md §1): a range query s[a,b] equals
+// P[b+1] − P[a], so summary errors on ranges are differences of pointwise
+// errors on P, and the SSE over all ranges of a prefix-decomposable
+// estimator is N·Σe² − (Σe)² with N = n+1.
+package prefix
+
+import "fmt"
+
+// Table holds prefix sums of a distribution and cumulative moments over
+// them. All moment queries take inclusive index windows into P (valid
+// indices 0..n).
+type Table struct {
+	n int // number of attribute values
+
+	// PInt[t] = Σ_{i<t} A[i], exact.
+	PInt []int64
+	// P is PInt converted to float64 once, for the numeric layers.
+	P []float64
+
+	// Cumulative moments over P: cum*[t] = Σ_{u<t} f(u,P[u]).
+	cumP   []float64 // Σ P[u]
+	cumP2  []float64 // Σ P[u]²
+	cumUP  []float64 // Σ u·P[u]
+	cumU2P []float64 // Σ u²·P[u]
+}
+
+// NewTable builds the moment tables for counts in O(n).
+func NewTable(counts []int64) *Table {
+	n := len(counts)
+	t := &Table{
+		n:      n,
+		PInt:   make([]int64, n+1),
+		P:      make([]float64, n+1),
+		cumP:   make([]float64, n+2),
+		cumP2:  make([]float64, n+2),
+		cumUP:  make([]float64, n+2),
+		cumU2P: make([]float64, n+2),
+	}
+	for i, c := range counts {
+		t.PInt[i+1] = t.PInt[i] + c
+	}
+	for u := 0; u <= n; u++ {
+		p := float64(t.PInt[u])
+		t.P[u] = p
+		t.cumP[u+1] = t.cumP[u] + p
+		t.cumP2[u+1] = t.cumP2[u] + p*p
+		t.cumUP[u+1] = t.cumUP[u] + float64(u)*p
+		t.cumU2P[u+1] = t.cumU2P[u] + float64(u)*float64(u)*p
+	}
+	return t
+}
+
+// N returns the domain size n.
+func (t *Table) N() int { return t.n }
+
+// Total returns the grand total s[0,n-1].
+func (t *Table) Total() int64 { return t.PInt[t.n] }
+
+// Sum returns s[a,b] = Σ_{a≤i≤b} A[i] exactly. The range is inclusive and
+// must satisfy 0 ≤ a ≤ b < n.
+func (t *Table) Sum(a, b int) int64 {
+	t.checkRange(a, b)
+	return t.PInt[b+1] - t.PInt[a]
+}
+
+// SumF is Sum as a float64.
+func (t *Table) SumF(a, b int) float64 { return float64(t.Sum(a, b)) }
+
+// Avg returns the average count over [a,b].
+func (t *Table) Avg(a, b int) float64 {
+	return t.SumF(a, b) / float64(b-a+1)
+}
+
+func (t *Table) checkRange(a, b int) {
+	if a < 0 || b >= t.n || a > b {
+		panic(fmt.Sprintf("prefix: invalid range [%d,%d] for n=%d", a, b, t.n))
+	}
+}
+
+func (t *Table) checkWindow(lo, hi int) {
+	if lo < 0 || hi > t.n || lo > hi {
+		panic(fmt.Sprintf("prefix: invalid P window [%d,%d] for n=%d", lo, hi, t.n))
+	}
+}
+
+// WindowP returns (Σ P[u], Σ P[u]², Σ u·P[u]) for u in the inclusive
+// window [lo,hi] of the prefix array.
+func (t *Table) WindowP(lo, hi int) (sum, sum2, sumUP float64) {
+	t.checkWindow(lo, hi)
+	return t.cumP[hi+1] - t.cumP[lo],
+		t.cumP2[hi+1] - t.cumP2[lo],
+		t.cumUP[hi+1] - t.cumUP[lo]
+}
+
+// VarSumP returns Σ_{u∈[lo,hi]} (P[u] − mean)², the non-normalized variance
+// of P over the window. This is exactly the SAP0 suffix-sum error of a
+// bucket (window [l..r]) and its prefix-sum error (window [l+1..r+1]); see
+// DESIGN.md §3.3.
+func (t *Table) VarSumP(lo, hi int) float64 {
+	sum, sum2, _ := t.WindowP(lo, hi)
+	m := float64(hi - lo + 1)
+	v := sum2 - sum*sum/m
+	if v < 0 { // numeric guard: true value is non-negative
+		v = 0
+	}
+	return v
+}
+
+// CovUP returns Σ_{u∈[lo,hi]} (u − ū)(P[u] − mean) = Σ u·P[u] − ū·Σ P[u],
+// the covariance sum of the index with P over the window, used by the SAP1
+// regression residuals.
+func (t *Table) CovUP(lo, hi int) float64 {
+	sum, _, sumUP := t.WindowP(lo, hi)
+	meanU := float64(lo+hi) / 2
+	return sumUP - meanU*sum
+}
+
+// SxxInt returns Σ (x − x̄)² for x = 0..m-1 (equivalently any m consecutive
+// integers): m(m²−1)/12.
+func SxxInt(m int) float64 {
+	mf := float64(m)
+	return mf * (mf*mf - 1) / 12
+}
+
+// LinFitRSS returns the residual sum of squares of the least-squares line
+// fit (with intercept) of P[u] against u over the inclusive window
+// [lo,hi]. Residuals of such a fit sum to zero, which is what makes the
+// SAP1 cross terms vanish (DESIGN.md §3.3).
+func (t *Table) LinFitRSS(lo, hi int) float64 {
+	m := hi - lo + 1
+	if m <= 2 {
+		return 0 // a line interpolates ≤2 points exactly
+	}
+	syy := t.VarSumP(lo, hi)
+	sxy := t.CovUP(lo, hi)
+	sxx := SxxInt(m)
+	rss := syy - sxy*sxy/sxx
+	if rss < 0 {
+		rss = 0
+	}
+	return rss
+}
+
+// AvgFit returns, for the data bucket [l,r] (inclusive, 0 ≤ l ≤ r < n),
+// the bucket average and the first two moments of the local prefix error
+// of the average fit:
+//
+//	e'_t = P[t] − P[l] − (t−l)·avg     for t ∈ [l, r+1]
+//
+// (e'_l = e'_{r+1} = 0 by construction). The returned sums run over the
+// whole window [l, r+1].
+func (t *Table) AvgFit(l, r int) (avg, sumE, sumE2 float64) {
+	t.checkRange(l, r)
+	m := float64(r - l + 1)
+	S := t.P[r+1] - t.P[l]
+	avg = S / m
+	lo, hi := l, r+1
+	sum, sum2, sumUP := t.WindowP(lo, hi)
+	cnt := float64(hi - lo + 1) // m+1
+	pl := t.P[l]
+	// q_t = P[t] − P[l]; d_t = t − l.
+	sumQ := sum - cnt*pl
+	sumQ2 := sum2 - 2*pl*sum + cnt*pl*pl
+	sumD := m * (m + 1) / 2
+	sumD2 := m * (m + 1) * (2*m + 1) / 6
+	// Σ d_t·P[t] = Σ (t)·P[t] − l·Σ P[t]  over the window.
+	sumDP := sumUP - float64(l)*sum
+	sumQD := sumDP - pl*sumD
+	sumE = sumQ - avg*sumD
+	sumE2 = sumQ2 - 2*avg*sumQD + avg*avg*sumD2
+	if sumE2 < 0 {
+		sumE2 = 0
+	}
+	return avg, sumE, sumE2
+}
+
+// IntraCost returns the exact sum-squared error, over all range queries
+// fully contained in the bucket [l,r], of answering with the (unrounded)
+// bucket average: Σ_{l≤a≤b≤r} (s[a,b] − (b−a+1)·avg)². By the prefix-error
+// identity this is (m+1)·Σe'² − (Σe')² with m = r−l+1.
+func (t *Table) IntraCost(l, r int) float64 {
+	_, sumE, sumE2 := t.AvgFit(l, r)
+	m := float64(r - l + 1)
+	c := (m+1)*sumE2 - sumE*sumE
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// SuffixVar returns the SAP0 suffix-sum error of bucket [l,r]: the
+// variance sum of the bucket's suffix sums s[x,r] over x ∈ [l,r], with the
+// optimal summary (their mean) subtracted.
+func (t *Table) SuffixVar(l, r int) float64 {
+	t.checkRange(l, r)
+	return t.VarSumP(l, r)
+}
+
+// PrefixVar returns the SAP0 prefix-sum error of bucket [l,r]: the variance
+// sum of the bucket's prefix sums s[l,x] over x ∈ [l,r].
+func (t *Table) PrefixVar(l, r int) float64 {
+	t.checkRange(l, r)
+	return t.VarSumP(l+1, r+1)
+}
+
+// SuffixRSS returns the SAP1 suffix-side error of bucket [l,r]: the RSS of
+// the best linear (in the left endpoint) fit to the bucket's suffix sums.
+func (t *Table) SuffixRSS(l, r int) float64 {
+	t.checkRange(l, r)
+	return t.LinFitRSS(l, r)
+}
+
+// PrefixRSS returns the SAP1 prefix-side error of bucket [l,r].
+func (t *Table) PrefixRSS(l, r int) float64 {
+	t.checkRange(l, r)
+	return t.LinFitRSS(l+1, r+1)
+}
+
+// SuffixMean returns the optimal SAP0 suffix summary of bucket [l,r]: the
+// mean of the suffix sums s[x,r], x ∈ [l,r].
+func (t *Table) SuffixMean(l, r int) float64 {
+	t.checkRange(l, r)
+	sum, _, _ := t.WindowP(l, r)
+	m := float64(r - l + 1)
+	return t.P[r+1] - sum/m
+}
+
+// PrefixMean returns the optimal SAP0 prefix summary of bucket [l,r]: the
+// mean of the prefix sums s[l,x], x ∈ [l,r].
+func (t *Table) PrefixMean(l, r int) float64 {
+	t.checkRange(l, r)
+	sum, _, _ := t.WindowP(l+1, r+1)
+	m := float64(r - l + 1)
+	return sum/m - t.P[l]
+}
+
+// SuffixLine returns the optimal SAP1 suffix model (slope, intercept) so
+// that s[x,r] ≈ slope·(r−x+1) + intercept for x ∈ [l,r]; the model is the
+// least-squares fit against the suffix length, matching the paper's
+// (B>−l+1)·suff'(i) + suff(i) answering form.
+func (t *Table) SuffixLine(l, r int) (slope, intercept float64) {
+	t.checkRange(l, r)
+	// y(x) = s[x,r] = P[r+1] − P[x]; regress on len = r−x+1.
+	// With u = x: len = r+1−u, so cov(len,y) = −cov(u,y) = cov(u,P).
+	m := float64(r - l + 1)
+	if m == 1 {
+		return 0, t.SumF(l, r)
+	}
+	sum, _, _ := t.WindowP(l, r)
+	covUP := t.CovUP(l, r)
+	sxx := SxxInt(r - l + 1)
+	// cov(u, y) = cov(u, P[r+1]−P[u]) = −covUP; cov(len,y)=covUP.
+	slope = covUP / sxx
+	meanLen := (float64(r-l+1) + 1) / 2 // mean of len over x∈[l,r]
+	meanY := t.P[r+1] - sum/m
+	intercept = meanY - slope*meanLen
+	return slope, intercept
+}
+
+// PrefixLine returns the optimal SAP1 prefix model (slope, intercept) so
+// that s[l,x] ≈ slope·(x−l+1) + intercept for x ∈ [l,r].
+func (t *Table) PrefixLine(l, r int) (slope, intercept float64) {
+	t.checkRange(l, r)
+	m := float64(r - l + 1)
+	if m == 1 {
+		return 0, t.SumF(l, r)
+	}
+	// y(x) = P[x+1] − P[l]; window u = x+1 ∈ [l+1, r+1]; len = x−l+1 = u−l.
+	sum, _, _ := t.WindowP(l+1, r+1)
+	covUP := t.CovUP(l+1, r+1) // cov(u,P) = cov(len,y)
+	sxx := SxxInt(r - l + 1)
+	slope = covUP / sxx
+	meanLen := (m + 1) / 2
+	meanY := sum/m - t.P[l]
+	intercept = meanY - slope*meanLen
+	return slope, intercept
+}
+
+// RoundedCum returns the integral rounded cumulative estimate used by the
+// exact OPT-A dynamic program: for position t inside bucket [l,r]
+// (l ≤ t ≤ r+1), the value P[l] + round((t−l)·avg) computed exactly in
+// integer arithmetic (round half away from zero; all quantities here are
+// non-negative). RoundedCum(l, r, l) = P[l] and RoundedCum(l, r, r+1) =
+// P[r+1] exactly.
+func (t *Table) RoundedCum(l, r, pos int) int64 {
+	t.checkRange(l, r)
+	if pos < l || pos > r+1 {
+		panic(fmt.Sprintf("prefix: pos %d outside bucket [%d,%d]", pos, l, r))
+	}
+	den := int64(r - l + 1)
+	S := t.PInt[r+1] - t.PInt[l]
+	num := int64(pos-l) * S
+	// round(num/den) half up; num, den ≥ 0.
+	return t.PInt[l] + (2*num+den)/(2*den)
+}
+
+// SSEFromErrors applies the prefix-error identity: given pointwise errors
+// e[0..n] of a cumulative estimate, it returns the exact SSE over all
+// ranges, N·Σe² − (Σe)².
+func SSEFromErrors(e []float64) float64 {
+	var s, s2 float64
+	for _, v := range e {
+		s += v
+		s2 += v * v
+	}
+	sse := float64(len(e))*s2 - s*s
+	if sse < 0 {
+		sse = 0
+	}
+	return sse
+}
+
+// MaxAbsCount returns the largest |A[i]| recoverable from the table,
+// useful for scaling decisions in the rounded DP.
+func (t *Table) MaxAbsCount() int64 {
+	var m int64
+	for i := 1; i <= t.n; i++ {
+		c := t.PInt[i] - t.PInt[i-1]
+		if c > m {
+			m = c
+		}
+		if -c > m {
+			m = -c
+		}
+	}
+	return m
+}
+
+// Counts reconstructs the underlying counts (a copy).
+func (t *Table) Counts() []int64 {
+	c := make([]int64, t.n)
+	for i := 0; i < t.n; i++ {
+		c[i] = t.PInt[i+1] - t.PInt[i]
+	}
+	return c
+}
+
+// WindowU2P returns Σ u²·P[u] over the inclusive window.
+func (t *Table) WindowU2P(lo, hi int) float64 {
+	t.checkWindow(lo, hi)
+	return t.cumU2P[hi+1] - t.cumU2P[lo]
+}
+
+// quadMoments returns the centered moments needed by the quadratic fit of
+// P against u over [lo,hi]: with x = u − ū, it computes Σx², Σx⁴
+// (Σx and Σx³ vanish by symmetry of consecutive integers), Σy, Σx·y,
+// Σx²·y and Σy², for y = P[u].
+func (t *Table) quadMoments(lo, hi int) (m, s2, s4, sy, sxy, sx2y, syy float64) {
+	cnt := float64(hi - lo + 1)
+	mean := float64(lo+hi) / 2
+	sy, syy, sup := t.WindowP(lo, hi)
+	su2p := t.WindowU2P(lo, hi)
+	sxy = sup - mean*sy
+	sx2y = su2p - 2*mean*sup + mean*mean*sy
+	// Power sums of u over [lo,hi] via Faulhaber, then center.
+	p1 := powerSum(1, lo, hi)
+	p2 := powerSum(2, lo, hi)
+	p3 := powerSum(3, lo, hi)
+	p4 := powerSum(4, lo, hi)
+	s2 = p2 - 2*mean*p1 + cnt*mean*mean
+	s4 = p4 - 4*mean*p3 + 6*mean*mean*p2 - 4*mean*mean*mean*p1 + cnt*mean*mean*mean*mean
+	return cnt, s2, s4, sy, sxy, sx2y, syy
+}
+
+// powerSum returns Σ_{u=lo..hi} u^k for k ≤ 4 via Faulhaber's formulas.
+func powerSum(k, lo, hi int) float64 {
+	f := func(n float64) float64 {
+		switch k {
+		case 1:
+			return n * (n + 1) / 2
+		case 2:
+			return n * (n + 1) * (2*n + 1) / 6
+		case 3:
+			s := n * (n + 1) / 2
+			return s * s
+		case 4:
+			return n * (n + 1) * (2*n + 1) * (3*n*n + 3*n - 1) / 30
+		default:
+			panic("prefix: powerSum supports k ≤ 4")
+		}
+	}
+	var below float64
+	if lo > 0 {
+		below = f(float64(lo - 1))
+	} else if lo < 0 {
+		panic("prefix: powerSum needs lo ≥ 0")
+	}
+	return f(float64(hi)) - below
+}
+
+// quadFit fits P[u] ≈ a + b·x + c·x² (x centered at the window mean) by
+// least squares and returns (a, b, c, ū, RSS). The centered normal
+// equations decouple: b = Σxy/Σx²; (a, c) solve the 2×2 system
+// [[m, S2], [S2, S4]]. Degenerate windows (m ≤ 3 or a singular system)
+// return an exact fit with RSS 0 where possible.
+func (t *Table) quadFit(lo, hi int) (a, b, c, mean, rss float64) {
+	m, s2, s4, sy, sxy, sx2y, syy := t.quadMoments(lo, hi)
+	mean = float64(lo+hi) / 2
+	if hi-lo+1 <= 2 {
+		// A line through ≤2 points: c = 0.
+		if s2 > 0 {
+			b = sxy / s2
+		}
+		a = sy / m
+		return a, b, 0, mean, 0
+	}
+	det := m*s4 - s2*s2
+	if det <= 0 {
+		a = sy / m
+		if s2 > 0 {
+			b = sxy / s2
+		}
+		return a, b, 0, mean, 0
+	}
+	b = sxy / s2
+	a = (sy*s4 - s2*sx2y) / det
+	c = (m*sx2y - s2*sy) / det
+	rss = syy - (a*sy + b*sxy + c*sx2y)
+	if rss < 0 {
+		rss = 0
+	}
+	return a, b, c, mean, rss
+}
+
+// QuadFitRSS returns the residual sum of squares of the least-squares
+// quadratic fit of P against the index over the inclusive window.
+func (t *Table) QuadFitRSS(lo, hi int) float64 {
+	_, _, _, _, rss := t.quadFit(lo, hi)
+	return rss
+}
+
+// SuffixQuadRSS returns the SAP2 suffix-side error of bucket [l,r]: the
+// RSS of the best quadratic (in the left endpoint, equivalently in the
+// suffix length — an affine reparametrization) fit to the bucket's suffix
+// sums. The residuals equal those of the quadratic fit of P over [l,r].
+func (t *Table) SuffixQuadRSS(l, r int) float64 {
+	t.checkRange(l, r)
+	return t.QuadFitRSS(l, r)
+}
+
+// PrefixQuadRSS returns the SAP2 prefix-side error of bucket [l,r].
+func (t *Table) PrefixQuadRSS(l, r int) float64 {
+	t.checkRange(l, r)
+	return t.QuadFitRSS(l+1, r+1)
+}
+
+// SuffixQuad returns the optimal SAP2 suffix model (c2, c1, c0) so that
+// s[x,r] ≈ c2·ℓ² + c1·ℓ + c0 with ℓ = r−x+1 the suffix length, x ∈ [l,r].
+func (t *Table) SuffixQuad(l, r int) (c2, c1, c0 float64) {
+	t.checkRange(l, r)
+	// y(u) = P[r+1] − P[u] over u ∈ [l,r]; P̂(u) = a + b·x + c·x²,
+	// x = u − ū, and ℓ = r+1−u ⇒ x = q − ℓ with q = r+1−ū.
+	a, b, c, mean, _ := t.quadFit(l, r)
+	q := float64(r+1) - mean
+	pr1 := t.P[r+1]
+	// ŷ(ℓ) = P[r+1] − (a + b(q−ℓ) + c(q−ℓ)²)
+	c2 = -c
+	c1 = b + 2*c*q
+	c0 = pr1 - a - b*q - c*q*q
+	return c2, c1, c0
+}
+
+// PrefixQuad returns the optimal SAP2 prefix model (c2, c1, c0) so that
+// s[l,x] ≈ c2·ℓ² + c1·ℓ + c0 with ℓ = x−l+1 the prefix length, x ∈ [l,r].
+func (t *Table) PrefixQuad(l, r int) (c2, c1, c0 float64) {
+	t.checkRange(l, r)
+	// y(x) = P[x+1] − P[l]; window u = x+1 ∈ [l+1, r+1], ℓ = u − l.
+	a, b, c, mean, _ := t.quadFit(l+1, r+1)
+	q := mean - float64(l) // ℓ = u − l ⇒ x = u − ū = ℓ − q
+	pl := t.P[l]
+	// ŷ(ℓ) = (a + b(ℓ−q) + c(ℓ−q)²) − P[l]
+	c2 = c
+	c1 = b - 2*c*q
+	c0 = a - b*q + c*q*q - pl
+	return c2, c1, c0
+}

@@ -1,0 +1,435 @@
+package prefix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-6
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= eps*scale
+}
+
+// randCounts generates a small random distribution for property tests.
+func randCounts(rng *rand.Rand, n int) []int64 {
+	c := make([]int64, n)
+	for i := range c {
+		c[i] = rng.Int63n(50)
+	}
+	return c
+}
+
+func TestPrefixSums(t *testing.T) {
+	tab := NewTable([]int64{3, 1, 4, 1, 5})
+	wantP := []int64{0, 3, 4, 8, 9, 14}
+	for i, w := range wantP {
+		if tab.PInt[i] != w {
+			t.Fatalf("PInt[%d] = %d, want %d", i, tab.PInt[i], w)
+		}
+	}
+	if tab.Sum(1, 3) != 6 {
+		t.Errorf("Sum(1,3) = %d, want 6", tab.Sum(1, 3))
+	}
+	if tab.Total() != 14 {
+		t.Errorf("Total = %d, want 14", tab.Total())
+	}
+	if got := tab.Avg(0, 4); !approxEq(got, 2.8) {
+		t.Errorf("Avg = %g, want 2.8", got)
+	}
+}
+
+func TestSumPanicsOnBadRange(t *testing.T) {
+	tab := NewTable([]int64{1, 2})
+	for _, r := range [][2]int{{-1, 0}, {0, 2}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sum(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			tab.Sum(r[0], r[1])
+		}()
+	}
+}
+
+func TestWindowMomentsAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	counts := randCounts(rng, 40)
+	tab := NewTable(counts)
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(41)
+		hi := lo + rng.Intn(41-lo)
+		var s, s2, sup float64
+		for u := lo; u <= hi; u++ {
+			p := tab.P[u]
+			s += p
+			s2 += p * p
+			sup += float64(u) * p
+		}
+		gs, gs2, gsup := tab.WindowP(lo, hi)
+		if !approxEq(gs, s) || !approxEq(gs2, s2) || !approxEq(gsup, sup) {
+			t.Fatalf("WindowP(%d,%d) = (%g,%g,%g), want (%g,%g,%g)", lo, hi, gs, gs2, gsup, s, s2, sup)
+		}
+	}
+}
+
+func TestVarSumPAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	counts := randCounts(rng, 30)
+	tab := NewTable(counts)
+	for trial := 0; trial < 100; trial++ {
+		lo := rng.Intn(31)
+		hi := lo + rng.Intn(31-lo)
+		m := float64(hi - lo + 1)
+		var s float64
+		for u := lo; u <= hi; u++ {
+			s += tab.P[u]
+		}
+		mean := s / m
+		var want float64
+		for u := lo; u <= hi; u++ {
+			d := tab.P[u] - mean
+			want += d * d
+		}
+		if got := tab.VarSumP(lo, hi); !approxEq(got, want) {
+			t.Fatalf("VarSumP(%d,%d) = %g, want %g", lo, hi, got, want)
+		}
+	}
+}
+
+// bruteIntra computes the intra-bucket SSE directly from the definition.
+func bruteIntra(counts []int64, l, r int) float64 {
+	m := float64(r - l + 1)
+	var sum int64
+	for i := l; i <= r; i++ {
+		sum += counts[i]
+	}
+	avg := float64(sum) / m
+	var sse float64
+	for a := l; a <= r; a++ {
+		var s int64
+		for b := a; b <= r; b++ {
+			s += counts[b]
+			d := float64(s) - float64(b-a+1)*avg
+			sse += d * d
+		}
+	}
+	return sse
+}
+
+func TestIntraCostAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	counts := randCounts(rng, 25)
+	tab := NewTable(counts)
+	for l := 0; l < 25; l++ {
+		for r := l; r < 25; r++ {
+			want := bruteIntra(counts, l, r)
+			if got := tab.IntraCost(l, r); !approxEq(got, want) {
+				t.Fatalf("IntraCost(%d,%d) = %g, want %g", l, r, got, want)
+			}
+		}
+	}
+}
+
+// bruteSuffixStats returns the mean and variance-sum of suffix sums
+// s[x,r], x in [l,r].
+func bruteSuffixStats(counts []int64, l, r int) (mean, varSum float64) {
+	var ys []float64
+	for x := l; x <= r; x++ {
+		var s int64
+		for i := x; i <= r; i++ {
+			s += counts[i]
+		}
+		ys = append(ys, float64(s))
+	}
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	for _, y := range ys {
+		varSum += (y - mean) * (y - mean)
+	}
+	return mean, varSum
+}
+
+func brutePrefixStats(counts []int64, l, r int) (mean, varSum float64) {
+	var ys []float64
+	for x := l; x <= r; x++ {
+		var s int64
+		for i := l; i <= x; i++ {
+			s += counts[i]
+		}
+		ys = append(ys, float64(s))
+	}
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	for _, y := range ys {
+		varSum += (y - mean) * (y - mean)
+	}
+	return mean, varSum
+}
+
+func TestSuffixPrefixStatsAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	counts := randCounts(rng, 20)
+	tab := NewTable(counts)
+	for l := 0; l < 20; l++ {
+		for r := l; r < 20; r++ {
+			wm, wv := bruteSuffixStats(counts, l, r)
+			if got := tab.SuffixMean(l, r); !approxEq(got, wm) {
+				t.Fatalf("SuffixMean(%d,%d) = %g, want %g", l, r, got, wm)
+			}
+			if got := tab.SuffixVar(l, r); !approxEq(got, wv) {
+				t.Fatalf("SuffixVar(%d,%d) = %g, want %g", l, r, got, wv)
+			}
+			wm, wv = brutePrefixStats(counts, l, r)
+			if got := tab.PrefixMean(l, r); !approxEq(got, wm) {
+				t.Fatalf("PrefixMean(%d,%d) = %g, want %g", l, r, got, wm)
+			}
+			if got := tab.PrefixVar(l, r); !approxEq(got, wv) {
+				t.Fatalf("PrefixVar(%d,%d) = %g, want %g", l, r, got, wv)
+			}
+		}
+	}
+}
+
+// bruteLinRSS fits y = a + b·x by least squares and returns the RSS.
+func bruteLinRSS(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	var rss float64
+	for i := range xs {
+		d := ys[i] - a - b*xs[i]
+		rss += d * d
+	}
+	return rss
+}
+
+func TestSuffixRSSAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	counts := randCounts(rng, 18)
+	tab := NewTable(counts)
+	for l := 0; l < 18; l++ {
+		for r := l; r < 18; r++ {
+			var xs, ys []float64
+			for x := l; x <= r; x++ {
+				var s int64
+				for i := x; i <= r; i++ {
+					s += counts[i]
+				}
+				xs = append(xs, float64(x))
+				ys = append(ys, float64(s))
+			}
+			want := bruteLinRSS(xs, ys)
+			if got := tab.SuffixRSS(l, r); !approxEq(got, want) {
+				t.Fatalf("SuffixRSS(%d,%d) = %g, want %g", l, r, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixRSSAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	counts := randCounts(rng, 18)
+	tab := NewTable(counts)
+	for l := 0; l < 18; l++ {
+		for r := l; r < 18; r++ {
+			var xs, ys []float64
+			for x := l; x <= r; x++ {
+				var s int64
+				for i := l; i <= x; i++ {
+					s += counts[i]
+				}
+				xs = append(xs, float64(x))
+				ys = append(ys, float64(s))
+			}
+			want := bruteLinRSS(xs, ys)
+			if got := tab.PrefixRSS(l, r); !approxEq(got, want) {
+				t.Fatalf("PrefixRSS(%d,%d) = %g, want %g", l, r, got, want)
+			}
+		}
+	}
+}
+
+func TestSuffixLinePredicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	counts := randCounts(rng, 15)
+	tab := NewTable(counts)
+	for l := 0; l < 15; l++ {
+		for r := l; r < 15; r++ {
+			slope, intercept := tab.SuffixLine(l, r)
+			var rss float64
+			for x := l; x <= r; x++ {
+				var s int64
+				for i := x; i <= r; i++ {
+					s += counts[i]
+				}
+				pred := slope*float64(r-x+1) + intercept
+				d := float64(s) - pred
+				rss += d * d
+			}
+			want := tab.SuffixRSS(l, r)
+			if !approxEq(rss, want) {
+				t.Fatalf("SuffixLine(%d,%d) RSS = %g, want %g", l, r, rss, want)
+			}
+		}
+	}
+}
+
+func TestPrefixLinePredicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	counts := randCounts(rng, 15)
+	tab := NewTable(counts)
+	for l := 0; l < 15; l++ {
+		for r := l; r < 15; r++ {
+			slope, intercept := tab.PrefixLine(l, r)
+			var rss float64
+			for x := l; x <= r; x++ {
+				var s int64
+				for i := l; i <= x; i++ {
+					s += counts[i]
+				}
+				pred := slope*float64(x-l+1) + intercept
+				d := float64(s) - pred
+				rss += d * d
+			}
+			want := tab.PrefixRSS(l, r)
+			if !approxEq(rss, want) {
+				t.Fatalf("PrefixLine(%d,%d) RSS = %g, want %g", l, r, rss, want)
+			}
+		}
+	}
+}
+
+// TestResidualsSumToZero verifies the property that makes the SAP cross
+// terms vanish: suffix residuals against the mean (SAP0) and against the
+// linear fit (SAP1) sum to zero within each bucket.
+func TestResidualsSumToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	counts := randCounts(rng, 16)
+	tab := NewTable(counts)
+	for l := 0; l < 16; l++ {
+		for r := l; r < 16; r++ {
+			mean := tab.SuffixMean(l, r)
+			slope, intercept := tab.SuffixLine(l, r)
+			var sum0, sum1 float64
+			for x := l; x <= r; x++ {
+				var s int64
+				for i := x; i <= r; i++ {
+					s += counts[i]
+				}
+				sum0 += float64(s) - mean
+				sum1 += float64(s) - (slope*float64(r-x+1) + intercept)
+			}
+			if math.Abs(sum0) > 1e-6 {
+				t.Fatalf("SAP0 residual sum (%d,%d) = %g", l, r, sum0)
+			}
+			if math.Abs(sum1) > 1e-6 {
+				t.Fatalf("SAP1 residual sum (%d,%d) = %g", l, r, sum1)
+			}
+		}
+	}
+}
+
+func TestRoundedCum(t *testing.T) {
+	tab := NewTable([]int64{1, 2, 3, 4})
+	// Bucket [0,3]: S = 10, len 4, avg 2.5.
+	if got := tab.RoundedCum(0, 3, 0); got != 0 {
+		t.Errorf("RoundedCum start = %d, want 0", got)
+	}
+	if got := tab.RoundedCum(0, 3, 4); got != 10 {
+		t.Errorf("RoundedCum end = %d, want 10", got)
+	}
+	// pos=1: 2.5 → rounds (half up) to 3.
+	if got := tab.RoundedCum(0, 3, 1); got != 3 {
+		t.Errorf("RoundedCum(0,3,1) = %d, want 3", got)
+	}
+	// pos=2: 5 exactly.
+	if got := tab.RoundedCum(0, 3, 2); got != 5 {
+		t.Errorf("RoundedCum(0,3,2) = %d, want 5", got)
+	}
+}
+
+func TestRoundedCumNearTrueValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	counts := randCounts(rng, 30)
+	tab := NewTable(counts)
+	for l := 0; l < 30; l++ {
+		for r := l; r < 30; r++ {
+			avg := tab.Avg(l, r)
+			for pos := l; pos <= r+1; pos++ {
+				exact := tab.P[l] + float64(pos-l)*avg
+				got := float64(tab.RoundedCum(l, r, pos))
+				if math.Abs(got-exact) > 0.5+1e-9 {
+					t.Fatalf("RoundedCum(%d,%d,%d) = %g, exact %g", l, r, pos, got, exact)
+				}
+			}
+		}
+	}
+}
+
+func TestSSEFromErrorsMatchesPairSum(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := make([]float64, len(raw))
+		for i, v := range raw {
+			e[i] = float64(v)
+		}
+		var want float64
+		for u := 0; u < len(e); u++ {
+			for v := u + 1; v < len(e); v++ {
+				d := e[v] - e[u]
+				want += d * d
+			}
+		}
+		return approxEq(SSEFromErrors(e), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountsRoundTrip(t *testing.T) {
+	in := []int64{5, 0, 2, 9}
+	tab := NewTable(in)
+	out := tab.Counts()
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("Counts()[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+	if tab.MaxAbsCount() != 9 {
+		t.Errorf("MaxAbsCount = %d, want 9", tab.MaxAbsCount())
+	}
+}
+
+func TestSxxInt(t *testing.T) {
+	// Direct check for m = 5: x = 0..4, mean 2, Σ(x−2)² = 4+1+0+1+4 = 10.
+	if got := SxxInt(5); !approxEq(got, 10) {
+		t.Errorf("SxxInt(5) = %g, want 10", got)
+	}
+	if got := SxxInt(1); got != 0 {
+		t.Errorf("SxxInt(1) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,199 @@
+package prefix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteQuadRSS fits y = a + b·x + c·x² by normal equations on raw x and
+// returns the RSS, as the oracle for the centered closed forms.
+func bruteQuadRSS(xs, ys []float64) float64 {
+	n := len(xs)
+	if n <= 3 {
+		// Solving exactly; a quadratic interpolates ≤3 points.
+		if n < 3 {
+			return 0
+		}
+	}
+	// Build the 3×3 normal equations Σ [1 x x²]ᵀ[1 x x²] β = Σ [1 x x²]ᵀ y.
+	var s0, s1, s2, s3, s4, t0, t1, t2 float64
+	for i := range xs {
+		x := xs[i]
+		y := ys[i]
+		s0++
+		s1 += x
+		s2 += x * x
+		s3 += x * x * x
+		s4 += x * x * x * x
+		t0 += y
+		t1 += x * y
+		t2 += x * x * y
+	}
+	m := [3][4]float64{
+		{s0, s1, s2, t0},
+		{s1, s2, s3, t1},
+		{s2, s3, s4, t2},
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 3; col++ {
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		m[col], m[p] = m[p], m[col]
+		if m[col][col] == 0 {
+			return 0
+		}
+		for r := col + 1; r < 3; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	var beta [3]float64
+	for r := 2; r >= 0; r-- {
+		v := m[r][3]
+		for c := r + 1; c < 3; c++ {
+			v -= m[r][c] * beta[c]
+		}
+		beta[r] = v / m[r][r]
+	}
+	var rss float64
+	for i := range xs {
+		x := xs[i]
+		d := ys[i] - (beta[0] + beta[1]*x + beta[2]*x*x)
+		rss += d * d
+	}
+	return rss
+}
+
+func TestQuadFitRSSAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	counts := randCounts(rng, 22)
+	tab := NewTable(counts)
+	for lo := 0; lo <= 22; lo++ {
+		for hi := lo; hi <= 22; hi++ {
+			var xs, ys []float64
+			for u := lo; u <= hi; u++ {
+				xs = append(xs, float64(u))
+				ys = append(ys, tab.P[u])
+			}
+			want := bruteQuadRSS(xs, ys)
+			got := tab.QuadFitRSS(lo, hi)
+			if !approxEq(got, want) {
+				t.Fatalf("QuadFitRSS(%d,%d) = %g, want %g", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestSuffixQuadModelPredicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	counts := randCounts(rng, 16)
+	tab := NewTable(counts)
+	for l := 0; l < 16; l++ {
+		for r := l; r < 16; r++ {
+			c2, c1, c0 := tab.SuffixQuad(l, r)
+			var rss float64
+			for x := l; x <= r; x++ {
+				var s int64
+				for i := x; i <= r; i++ {
+					s += counts[i]
+				}
+				ell := float64(r - x + 1)
+				d := float64(s) - (c2*ell*ell + c1*ell + c0)
+				rss += d * d
+			}
+			if want := tab.SuffixQuadRSS(l, r); !approxEq(rss, want) {
+				t.Fatalf("SuffixQuad(%d,%d) model RSS %g, want %g", l, r, rss, want)
+			}
+		}
+	}
+}
+
+func TestPrefixQuadModelPredicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	counts := randCounts(rng, 16)
+	tab := NewTable(counts)
+	for l := 0; l < 16; l++ {
+		for r := l; r < 16; r++ {
+			c2, c1, c0 := tab.PrefixQuad(l, r)
+			var rss float64
+			for x := l; x <= r; x++ {
+				var s int64
+				for i := l; i <= x; i++ {
+					s += counts[i]
+				}
+				ell := float64(x - l + 1)
+				d := float64(s) - (c2*ell*ell + c1*ell + c0)
+				rss += d * d
+			}
+			if want := tab.PrefixQuadRSS(l, r); !approxEq(rss, want) {
+				t.Fatalf("PrefixQuad(%d,%d) model RSS %g, want %g", l, r, rss, want)
+			}
+		}
+	}
+}
+
+func TestQuadResidualsSumToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(214))
+	counts := randCounts(rng, 14)
+	tab := NewTable(counts)
+	for l := 0; l < 14; l++ {
+		for r := l; r < 14; r++ {
+			c2, c1, c0 := tab.SuffixQuad(l, r)
+			var sum float64
+			for x := l; x <= r; x++ {
+				var s int64
+				for i := x; i <= r; i++ {
+					s += counts[i]
+				}
+				ell := float64(r - x + 1)
+				sum += float64(s) - (c2*ell*ell + c1*ell + c0)
+			}
+			if math.Abs(sum) > 1e-6 {
+				t.Fatalf("SAP2 suffix residual sum (%d,%d) = %g", l, r, sum)
+			}
+		}
+	}
+}
+
+func TestQuadRSSAtMostLinearRSS(t *testing.T) {
+	// The quadratic family contains the linear one, so its RSS is ≤.
+	rng := rand.New(rand.NewSource(215))
+	counts := randCounts(rng, 30)
+	tab := NewTable(counts)
+	for l := 0; l < 30; l += 2 {
+		for r := l; r < 30; r += 3 {
+			q := tab.SuffixQuadRSS(l, r)
+			lin := tab.SuffixRSS(l, r)
+			if q > lin+1e-6*(1+lin) {
+				t.Fatalf("quad RSS %g > linear RSS %g at [%d,%d]", q, lin, l, r)
+			}
+		}
+	}
+}
+
+func TestPowerSum(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		for lo := 0; lo < 6; lo++ {
+			for hi := lo; hi < 12; hi++ {
+				var want float64
+				for u := lo; u <= hi; u++ {
+					v := 1.0
+					for j := 0; j < k; j++ {
+						v *= float64(u)
+					}
+					want += v
+				}
+				if got := powerSum(k, lo, hi); !approxEq(got, want) {
+					t.Fatalf("powerSum(%d,%d,%d) = %g, want %g", k, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}

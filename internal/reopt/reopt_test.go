@@ -1,0 +1,225 @@
+package reopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/linalg"
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/sse"
+)
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-7*scale
+}
+
+func randCounts(rng *rand.Rand, n int, lim int64) []int64 {
+	c := make([]int64, n)
+	for i := range c {
+		c[i] = rng.Int63n(lim)
+	}
+	return c
+}
+
+func randBucketing(rng *rand.Rand, n, b int) *histogram.Bucketing {
+	starts := []int{0}
+	seen := map[int]bool{0: true}
+	for len(starts) < b {
+		pos := 1 + rng.Intn(n-1)
+		if !seen[pos] {
+			seen[pos] = true
+			starts = append(starts, pos)
+		}
+	}
+	for i := 1; i < len(starts); i++ {
+		for j := i; j > 0 && starts[j] < starts[j-1]; j-- {
+			starts[j], starts[j-1] = starts[j-1], starts[j]
+		}
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		panic(err)
+	}
+	return bk
+}
+
+// buildSystemBrute accumulates Q and g directly from the definition in
+// O(n²·B²) — the oracle for the closed-form builder.
+func buildSystemBrute(tab *prefix.Table, bk *histogram.Bucketing) (*linalg.Matrix, []float64) {
+	n := tab.N()
+	nb := bk.NumBuckets()
+	q := linalg.NewMatrix(nb, nb)
+	g := make([]float64, nb)
+	w := make([]float64, nb)
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			for i := range w {
+				w[i] = 0
+			}
+			for i := a; i <= b; i++ {
+				w[bk.Find(i)]++
+			}
+			s := tab.SumF(a, b)
+			for i := 0; i < nb; i++ {
+				if w[i] == 0 {
+					continue
+				}
+				g[i] -= 2 * s * w[i]
+				for j := 0; j < nb; j++ {
+					if w[j] != 0 {
+						q.Add(i, j, w[i]*w[j])
+					}
+				}
+			}
+		}
+	}
+	return q, g
+}
+
+func TestBuildSystemMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(20)
+		nb := 1 + rng.Intn(min(5, n))
+		counts := randCounts(rng, n, 40)
+		tab := prefix.NewTable(counts)
+		bk := randBucketing(rng, n, nb)
+		q, g, err := BuildSystem(tab, bk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, gb := buildSystemBrute(tab, bk)
+		for i := 0; i < q.Rows; i++ {
+			if !approxEq(g[i], gb[i]) {
+				t.Fatalf("trial %d: g[%d] = %g, want %g (starts=%v)", trial, i, g[i], gb[i], bk.Starts)
+			}
+			for j := 0; j < q.Cols; j++ {
+				if !approxEq(q.At(i, j), qb.At(i, j)) {
+					t.Fatalf("trial %d: Q[%d,%d] = %g, want %g (starts=%v)",
+						trial, i, j, q.At(i, j), qb.At(i, j), bk.Starts)
+				}
+			}
+		}
+	}
+}
+
+func TestReoptNeverIncreasesSSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(25)
+		counts := randCounts(rng, n, 60)
+		tab := prefix.NewTable(counts)
+		bk := randBucketing(rng, n, 1+rng.Intn(5))
+		h, err := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "OPT-A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Reopt(tab, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := sse.Of(tab, h)
+		after := sse.Of(tab, r)
+		if after > before+1e-6*(1+before) {
+			t.Fatalf("trial %d: reopt SSE %g > original %g", trial, after, before)
+		}
+	}
+}
+
+func TestReoptGradientVanishes(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	n := 20
+	counts := randCounts(rng, n, 50)
+	tab := prefix.NewTable(counts)
+	bk := randBucketing(rng, n, 4)
+	q, g, err := BuildSystem(tab, bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Solve(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2Qx + g = 0 at the optimum.
+	qx := q.MulVec(x)
+	for i := range qx {
+		if r := 2*qx[i] + g[i]; math.Abs(r) > 1e-5*(1+math.Abs(g[i])) {
+			t.Fatalf("gradient component %d = %g", i, r)
+		}
+	}
+}
+
+func TestReoptIsGlobalMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	n := 15
+	counts := randCounts(rng, n, 40)
+	tab := prefix.NewTable(counts)
+	bk := randBucketing(rng, n, 3)
+	h, _ := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "x")
+	r, err := Reopt(tab, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sse.Of(tab, r)
+	for trial := 0; trial < 30; trial++ {
+		vals := append([]float64(nil), r.Values...)
+		for i := range vals {
+			vals[i] += rng.NormFloat64() * 3
+		}
+		cand, err := histogram.NewAvg(bk.Clone(), vals, histogram.RoundNone, "perturbed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sse.Of(tab, cand); got < base-1e-6*(1+base) {
+			t.Fatalf("perturbation improved SSE: %g < %g", got, base)
+		}
+	}
+}
+
+func TestReoptImprovesOnSkewedData(t *testing.T) {
+	// The direction of the paper's 41% observation: on skewed data with
+	// equi-width boundaries (badly placed), re-optimizing values must give
+	// a strict improvement.
+	counts := make([]int64, 64)
+	for i := range counts {
+		counts[i] = int64(2000 / (i + 1))
+	}
+	tab := prefix.NewTable(counts)
+	bk, _ := histogram.EquiWidth(64, 8)
+	h, _ := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "EQUI-WIDTH")
+	r, err := Reopt(tab, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sse.Of(tab, h)
+	after := sse.Of(tab, r)
+	if after >= before {
+		t.Fatalf("no improvement: %g >= %g", after, before)
+	}
+	if r.Name() != "EQUI-WIDTH-reopt" {
+		t.Errorf("label = %q", r.Name())
+	}
+}
+
+func TestBuildSystemValidation(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3})
+	bk := &histogram.Bucketing{N: 5, Starts: []int{0}}
+	if _, _, err := BuildSystem(tab, bk); err == nil {
+		t.Error("mismatched n accepted")
+	}
+	bad := &histogram.Bucketing{N: 3, Starts: []int{1}}
+	if _, _, err := BuildSystem(tab, bad); err == nil {
+		t.Error("invalid bucketing accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

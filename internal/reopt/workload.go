@@ -1,0 +1,102 @@
+package reopt
+
+import (
+	"fmt"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/linalg"
+	"rangeagg/internal/prefix"
+)
+
+// Range is an inclusive query range.
+type Range struct{ A, B int }
+
+// BuildSystemWorkload accumulates the quadratic form (Q, g) of the
+// sum-squared error restricted to an explicit query workload, in
+// O(|W|·B²) time (each query touches at most B buckets and its weight
+// vector is found in O(B) from the bucket overlaps). This generalizes the
+// paper's §5 — which optimizes over *all* ranges — to the
+// workload-adaptive setting its conclusion gestures at.
+func BuildSystemWorkload(tab *prefix.Table, bk *histogram.Bucketing, queries []Range) (*linalg.Matrix, []float64, error) {
+	if bk.N != tab.N() {
+		return nil, nil, fmt.Errorf("reopt: bucketing n=%d does not match data n=%d", bk.N, tab.N())
+	}
+	if err := bk.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nb := bk.NumBuckets()
+	q := linalg.NewMatrix(nb, nb)
+	g := make([]float64, nb)
+	idx := make([]int, 0, nb)
+	w := make([]float64, nb)
+	for _, query := range queries {
+		if query.A < 0 || query.B >= bk.N || query.A > query.B {
+			return nil, nil, fmt.Errorf("reopt: query [%d,%d] outside domain [0,%d)", query.A, query.B, bk.N)
+		}
+		idx = idx[:0]
+		pa, pb := bk.Find(query.A), bk.Find(query.B)
+		for i := pa; i <= pb; i++ {
+			lo, hi := bk.Bounds(i)
+			if query.A > lo {
+				lo = query.A
+			}
+			if query.B < hi {
+				hi = query.B
+			}
+			w[i] = float64(hi - lo + 1)
+			idx = append(idx, i)
+		}
+		s := tab.SumF(query.A, query.B)
+		for _, i := range idx {
+			g[i] -= 2 * s * w[i]
+			for _, j := range idx {
+				q.Add(i, j, w[i]*w[j])
+			}
+		}
+		for _, i := range idx {
+			w[i] = 0
+		}
+	}
+	return q, g, nil
+}
+
+// ReoptWorkload re-optimizes an average histogram's values for an
+// explicit workload. Buckets never touched by any query keep their
+// original values (their error contribution is zero either way, and
+// pinning them keeps out-of-workload answers sensible).
+func ReoptWorkload(tab *prefix.Table, h *histogram.Avg, queries []Range) (*histogram.Avg, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("reopt: empty workload")
+	}
+	q, g, err := BuildSystemWorkload(tab, h.Buckets, queries)
+	if err != nil {
+		return nil, err
+	}
+	nb := h.Buckets.NumBuckets()
+	// Active buckets: touched by at least one query (Q_ii = Σ w_i² > 0).
+	active := make([]int, 0, nb)
+	for i := 0; i < nb; i++ {
+		if q.At(i, i) > 0 {
+			active = append(active, i)
+		}
+	}
+	values := append([]float64(nil), h.Values...)
+	if len(active) > 0 {
+		sub := linalg.NewMatrix(len(active), len(active))
+		rhs := make([]float64, len(active))
+		for ai, i := range active {
+			rhs[ai] = -g[i] / 2
+			for aj, j := range active {
+				sub.Set(ai, aj, q.At(i, j))
+			}
+		}
+		x, err := linalg.SolveSymmetric(sub, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("reopt: solving workload normal equations: %w", err)
+		}
+		for ai, i := range active {
+			values[i] = x[ai]
+		}
+	}
+	return histogram.NewAvg(h.Buckets.Clone(), values, histogram.RoundNone, h.Label+"-wreopt")
+}

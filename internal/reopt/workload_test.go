@@ -1,0 +1,157 @@
+package reopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+func randQueries(rng *rand.Rand, n, k int) []Range {
+	qs := make([]Range, k)
+	for i := range qs {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a > b {
+			a, b = b, a
+		}
+		qs[i] = Range{A: a, B: b}
+	}
+	return qs
+}
+
+func workloadSSE(tab *prefix.Table, h *histogram.Avg, qs []Range) float64 {
+	var sum float64
+	for _, q := range qs {
+		d := tab.SumF(q.A, q.B) - h.Estimate(q.A, q.B)
+		sum += d * d
+	}
+	return sum
+}
+
+func TestBuildSystemWorkloadMatchesAllRanges(t *testing.T) {
+	// On the complete workload (every range), the workload builder must
+	// reproduce the closed-form all-ranges system.
+	rng := rand.New(rand.NewSource(121))
+	n := 18
+	counts := randCounts(rng, n, 40)
+	tab := prefix.NewTable(counts)
+	bk := randBucketing(rng, n, 4)
+	var all []Range
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			all = append(all, Range{A: a, B: b})
+		}
+	}
+	qw, gw, err := BuildSystemWorkload(tab, bk, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, gc, err := BuildSystem(tab, bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < qc.Rows; i++ {
+		if !approxEq(gw[i], gc[i]) {
+			t.Fatalf("g[%d] = %g, want %g", i, gw[i], gc[i])
+		}
+		for j := 0; j < qc.Cols; j++ {
+			if !approxEq(qw.At(i, j), qc.At(i, j)) {
+				t.Fatalf("Q[%d,%d] = %g, want %g", i, j, qw.At(i, j), qc.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReoptWorkloadMinimizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(20)
+		counts := randCounts(rng, n, 50)
+		tab := prefix.NewTable(counts)
+		bk := randBucketing(rng, n, 1+rng.Intn(4))
+		h, _ := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "A0")
+		qs := randQueries(rng, n, 5+rng.Intn(40))
+		re, err := ReoptWorkload(tab, h, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := workloadSSE(tab, re, qs)
+		// Never worse than the original values.
+		if orig := workloadSSE(tab, h, qs); base > orig+1e-6*(1+orig) {
+			t.Fatalf("trial %d: workload reopt %g worse than original %g", trial, base, orig)
+		}
+		// Local minimum: random perturbations of active values cannot help.
+		for p := 0; p < 10; p++ {
+			vals := append([]float64(nil), re.Values...)
+			for i := range vals {
+				vals[i] += rng.NormFloat64() * 2
+			}
+			cand, _ := histogram.NewAvg(bk.Clone(), vals, histogram.RoundNone, "p")
+			if got := workloadSSE(tab, cand, qs); got < base-1e-6*(1+base) {
+				t.Fatalf("trial %d: perturbation improved workload SSE: %g < %g", trial, got, base)
+			}
+		}
+	}
+}
+
+func TestReoptWorkloadBeatsGlobalReoptOnRestrictedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	n := 40
+	counts := randCounts(rng, n, 80)
+	tab := prefix.NewTable(counts)
+	bk := randBucketing(rng, n, 5)
+	h, _ := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "A0")
+	// Short ranges only: a workload the all-ranges optimum is not tuned for.
+	var qs []Range
+	for i := 0; i+3 < n; i += 2 {
+		qs = append(qs, Range{A: i, B: i + 3})
+	}
+	global, err := Reopt(tab, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, err := ReoptWorkload(tab, h, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := workloadSSE(tab, global, qs)
+	aw := workloadSSE(tab, adapted, qs)
+	if aw > gw+1e-6*(1+gw) {
+		t.Fatalf("workload-adapted %g worse than global reopt %g on its own workload", aw, gw)
+	}
+}
+
+func TestReoptWorkloadPinsUntouchedBuckets(t *testing.T) {
+	counts := []int64{10, 10, 50, 50, 90, 90}
+	tab := prefix.NewTable(counts)
+	bk, _ := histogram.NewBucketing(6, []int{0, 2, 4})
+	h, _ := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "x")
+	// Workload touches only the first bucket.
+	qs := []Range{{A: 0, B: 1}, {A: 0, B: 0}}
+	re, err := ReoptWorkload(tab, h, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(re.Values[1], h.Values[1]) || !approxEq(re.Values[2], h.Values[2]) {
+		t.Fatalf("untouched buckets changed: %v vs %v", re.Values, h.Values)
+	}
+	// Out-of-workload answers stay sensible.
+	if got := re.Estimate(4, 5); math.Abs(got-180) > 1e-9 {
+		t.Fatalf("untouched-bucket estimate = %g, want 180", got)
+	}
+}
+
+func TestReoptWorkloadValidation(t *testing.T) {
+	counts := []int64{1, 2, 3}
+	tab := prefix.NewTable(counts)
+	bk, _ := histogram.NewBucketing(3, []int{0})
+	h, _ := histogram.NewAvgFromBounds(tab, bk, histogram.RoundNone, "x")
+	if _, err := ReoptWorkload(tab, h, nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := ReoptWorkload(tab, h, []Range{{A: 0, B: 9}}); err == nil {
+		t.Error("out-of-domain query accepted")
+	}
+}

@@ -1,0 +1,575 @@
+// Package shell implements the command language of cmd/synshell: an
+// interactive (and scriptable) front end to the approximate-query engine.
+// Every command is a single line; Exec is deterministic and returns all
+// output through the configured writer, which makes the language fully
+// testable without a terminal.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rangeagg"
+	"rangeagg/internal/dataset"
+)
+
+// Shell holds one session's state: a store of columns, one of which is
+// current. Commands that create data (create/gen/load) add a new column
+// and make it current.
+type Shell struct {
+	out     io.Writer
+	store   *rangeagg.Store
+	eng     *rangeagg.Engine // current column
+	cur     string
+	nextCol int
+}
+
+// New creates a shell writing command output to out.
+func New(out io.Writer) *Shell {
+	return &Shell{out: out, store: rangeagg.NewStore("shell")}
+}
+
+// addColumn registers a fresh column in the store and makes it current.
+func (s *Shell) addColumn(base string, domain int) (*rangeagg.Engine, error) {
+	s.nextCol++
+	name := fmt.Sprintf("%s%d", base, s.nextCol)
+	e, err := s.store.CreateColumn(name, domain)
+	if err != nil {
+		return nil, err
+	}
+	s.eng, s.cur = e, name
+	return e, nil
+}
+
+// Exec runs one command line. It returns quit=true for the quit/exit
+// command. Errors are returned (not printed), so callers decide whether
+// to abort (scripts) or continue (interactive use).
+func (s *Shell) Exec(line string) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return false, nil
+	}
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	switch cmd {
+	case "quit", "exit":
+		return true, nil
+	case "help":
+		s.help()
+		return false, nil
+	case "create":
+		return false, s.create(args)
+	case "gen":
+		return false, s.gen(args)
+	case "load":
+		return false, s.load(args)
+	case "insert", "delete":
+		return false, s.mutate(cmd, args)
+	case "build":
+		return false, s.build(args)
+	case "recommend":
+		return false, s.recommend(args)
+	case "drop":
+		return false, s.drop(args)
+	case "list":
+		return false, s.list()
+	case "describe":
+		return false, s.describe(args)
+	case "count", "sum":
+		return false, s.exact(cmd, args)
+	case "approx":
+		return false, s.approx(args)
+	case "report":
+		return false, s.report(args)
+	case "progressive":
+		return false, s.progressive(args)
+	case "sse":
+		return false, s.sse(args)
+	case "autorefresh":
+		return false, s.autoRefresh(args)
+	case "columns":
+		return false, s.columns()
+	case "use":
+		return false, s.use(args)
+	case "save":
+		return false, s.save(args)
+	case "open":
+		return false, s.open(args)
+	default:
+		return false, fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (s *Shell) help() {
+	fmt.Fprint(s.out, `commands:
+  create <domain>                        new engine over values [0,domain)
+  gen zipf <n> <alpha> <max> <seed>      create + load a Zipf dataset
+  load <file.csv>                        load a distribution CSV
+  insert <value> <count>                 add records
+  delete <value> <count>                 remove records
+  build <name> <count|sum> <METHOD> <budget> [reopt]
+  recommend <name> <count|sum> <budget>  advisor picks the method
+  drop <name>                            remove a synopsis
+  list                                   list synopses
+  describe <name>                        synopsis metadata
+  count <a> <b>                          exact COUNT over [a,b]
+  sum <a> <b>                            exact SUM over [a,b]
+  approx <name> <a> <b>                  approximate answer
+  report <name> <k>                      error report on k random ranges
+  progressive <name> <a> <b> <chunks>    online-refined answer
+  sse <name>                             SSE over all ranges
+  autorefresh <threshold>                rebuild stale synopses on query
+  columns                                list store columns
+  use <column>                           switch the current column
+  save <file> | open <file>              persist / restore the whole store
+  quit
+`)
+}
+
+func (s *Shell) needEngine() error {
+	if s.eng == nil {
+		return fmt.Errorf("no engine: run create or gen first")
+	}
+	return nil
+}
+
+func atoi(name, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+func (s *Shell) create(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: create <domain>")
+	}
+	domain, err := atoi("domain", args[0])
+	if err != nil {
+		return err
+	}
+	if _, err := s.addColumn("col", domain); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "column %s over [0,%d)\n", s.cur, domain)
+	return nil
+}
+
+func (s *Shell) gen(args []string) error {
+	if len(args) != 5 || args[0] != "zipf" {
+		return fmt.Errorf("usage: gen zipf <n> <alpha> <max> <seed>")
+	}
+	n, err := atoi("n", args[1])
+	if err != nil {
+		return err
+	}
+	alpha, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad alpha %q", args[2])
+	}
+	maxC, err := strconv.ParseFloat(args[3], 64)
+	if err != nil {
+		return fmt.Errorf("bad max %q", args[3])
+	}
+	seed, err := strconv.ParseInt(args[4], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad seed %q", args[4])
+	}
+	counts, err := rangeagg.ZipfCounts(n, alpha, maxC, seed)
+	if err != nil {
+		return err
+	}
+	eng, err := s.addColumn("zipf", n)
+	if err != nil {
+		return err
+	}
+	if err := eng.Load(counts); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "generated zipf(n=%d, a=%g) into column %s: %d records\n", n, alpha, s.cur, eng.Records())
+	return nil
+}
+
+func (s *Shell) load(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: load <file.csv>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	eng, err := s.addColumn("csv", d.N())
+	if err != nil {
+		return err
+	}
+	if err := eng.Load(d.Counts); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "loaded %s into column %s: %d values, %d records\n", d.Name, s.cur, d.N(), eng.Records())
+	return nil
+}
+
+func (s *Shell) mutate(cmd string, args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: %s <value> <count>", cmd)
+	}
+	value, err := atoi("value", args[0])
+	if err != nil {
+		return err
+	}
+	count, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad count %q", args[1])
+	}
+	if cmd == "insert" {
+		err = s.eng.Insert(value, count)
+	} else {
+		err = s.eng.Delete(value, count)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "ok (%d records)\n", s.eng.Records())
+	return nil
+}
+
+func parseMetric(v string) (rangeagg.Metric, error) {
+	switch strings.ToLower(v) {
+	case "count":
+		return rangeagg.Count, nil
+	case "sum":
+		return rangeagg.Sum, nil
+	default:
+		return 0, fmt.Errorf("bad metric %q (count or sum)", v)
+	}
+}
+
+func (s *Shell) build(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) < 4 || len(args) > 5 {
+		return fmt.Errorf("usage: build <name> <count|sum> <METHOD> <budget> [reopt]")
+	}
+	metric, err := parseMetric(args[1])
+	if err != nil {
+		return err
+	}
+	method, err := rangeagg.ParseMethod(args[2])
+	if err != nil {
+		return err
+	}
+	budget, err := atoi("budget", args[3])
+	if err != nil {
+		return err
+	}
+	opt := rangeagg.Options{Method: method, BudgetWords: budget, Seed: 1}
+	if len(args) == 5 {
+		if args[4] != "reopt" {
+			return fmt.Errorf("bad option %q (only reopt)", args[4])
+		}
+		opt.Reopt = true
+	}
+	if err := s.eng.BuildSynopsis(args[0], metric, opt); err != nil {
+		return err
+	}
+	info, err := s.eng.Describe(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "built %s: %s %s, %d words\n", info.Name, info.Metric, info.Method, info.StorageWords)
+	return nil
+}
+
+func (s *Shell) recommend(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 3 {
+		return fmt.Errorf("usage: recommend <name> <count|sum> <budget>")
+	}
+	metric, err := parseMetric(args[1])
+	if err != nil {
+		return err
+	}
+	budget, err := atoi("budget", args[2])
+	if err != nil {
+		return err
+	}
+	workload := rangeagg.RandomRanges(s.eng.Domain(), 200, 1)
+	win, err := s.eng.RecommendSynopsis(args[0], metric, workload, budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "advisor picked %s (RMS %.3f, %d words)\n",
+		win.Method, win.RMS, win.StorageWords)
+	return nil
+}
+
+func (s *Shell) drop(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: drop <name>")
+	}
+	if !s.eng.DropSynopsis(args[0]) {
+		return fmt.Errorf("no synopsis named %q", args[0])
+	}
+	fmt.Fprintln(s.out, "dropped")
+	return nil
+}
+
+func (s *Shell) list() error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	names := s.eng.SynopsisNames()
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(s.out, "(no synopses)")
+		return nil
+	}
+	for _, n := range names {
+		info, err := s.eng.Describe(n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%-12s %-6s %-16s %4d words  stale %d\n",
+			info.Name, info.Metric, info.Method, info.StorageWords, info.Stale)
+	}
+	return nil
+}
+
+func (s *Shell) describe(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: describe <name>")
+	}
+	info, err := s.eng.Describe(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "name=%s metric=%s method=%s words=%d stale=%d\n",
+		info.Name, info.Metric, info.Method, info.StorageWords, info.Stale)
+	return nil
+}
+
+func (s *Shell) exact(cmd string, args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: %s <a> <b>", cmd)
+	}
+	a, err := atoi("a", args[0])
+	if err != nil {
+		return err
+	}
+	b, err := atoi("b", args[1])
+	if err != nil {
+		return err
+	}
+	if cmd == "count" {
+		fmt.Fprintf(s.out, "%d\n", s.eng.ExactCount(a, b))
+	} else {
+		fmt.Fprintf(s.out, "%d\n", s.eng.ExactSum(a, b))
+	}
+	return nil
+}
+
+func (s *Shell) approx(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 3 {
+		return fmt.Errorf("usage: approx <name> <a> <b>")
+	}
+	a, err := atoi("a", args[1])
+	if err != nil {
+		return err
+	}
+	b, err := atoi("b", args[2])
+	if err != nil {
+		return err
+	}
+	v, err := s.eng.Approx(args[0], a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%.2f\n", v)
+	return nil
+}
+
+func (s *Shell) report(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: report <name> <queries>")
+	}
+	k, err := atoi("queries", args[1])
+	if err != nil {
+		return err
+	}
+	if k <= 0 {
+		return fmt.Errorf("need a positive query count")
+	}
+	m, err := s.eng.Report(args[0], rangeagg.RandomRanges(s.eng.Domain(), k, 1))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "queries=%d rms=%.3f mae=%.3f max=%.3f mean-rel=%.4f\n",
+		m.Queries, m.RMS, m.MAE, m.MaxAbs, m.MeanRel)
+	return nil
+}
+
+func (s *Shell) progressive(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 4 {
+		return fmt.Errorf("usage: progressive <name> <a> <b> <chunks>")
+	}
+	a, err := atoi("a", args[1])
+	if err != nil {
+		return err
+	}
+	b, err := atoi("b", args[2])
+	if err != nil {
+		return err
+	}
+	chunks, err := atoi("chunks", args[3])
+	if err != nil {
+		return err
+	}
+	steps, err := s.eng.Progressive(args[0], a, b, chunks)
+	if err != nil {
+		return err
+	}
+	for _, st := range steps {
+		fmt.Fprintf(s.out, "scanned %4d/%-4d  estimate %.2f\n", st.Scanned, st.Of, st.Estimate)
+	}
+	return nil
+}
+
+func (s *Shell) sse(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: sse <name>")
+	}
+	v, err := s.eng.SynopsisSSE(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%.6g\n", v)
+	return nil
+}
+
+func (s *Shell) columns() error {
+	names := s.store.Columns()
+	if len(names) == 0 {
+		fmt.Fprintln(s.out, "(no columns)")
+		return nil
+	}
+	for _, n := range names {
+		marker := " "
+		if n == s.cur {
+			marker = "*"
+		}
+		col, err := s.store.Column(n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%s %-10s domain %d, %d records, %d synopses\n",
+			marker, n, col.Domain(), col.Records(), len(col.SynopsisNames()))
+	}
+	return nil
+}
+
+func (s *Shell) use(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: use <column>")
+	}
+	col, err := s.store.Column(args[0])
+	if err != nil {
+		return err
+	}
+	s.eng, s.cur = col, args[0]
+	fmt.Fprintf(s.out, "using column %s\n", s.cur)
+	return nil
+}
+
+func (s *Shell) save(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: save <file>")
+	}
+	f, err := os.Create(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.store.Save(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "saved %d columns to %s\n", len(s.store.Columns()), args[0])
+	return nil
+}
+
+func (s *Shell) open(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: open <file>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store, err := rangeagg.OpenStore(f)
+	if err != nil {
+		return err
+	}
+	s.store = store
+	s.eng, s.cur = nil, ""
+	if cols := store.Columns(); len(cols) > 0 {
+		col, err := store.Column(cols[0])
+		if err != nil {
+			return err
+		}
+		s.eng, s.cur = col, cols[0]
+	}
+	fmt.Fprintf(s.out, "opened %d columns; current = %q\n", len(store.Columns()), s.cur)
+	return nil
+}
+
+func (s *Shell) autoRefresh(args []string) error {
+	if err := s.needEngine(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: autorefresh <threshold>")
+	}
+	threshold, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad threshold %q", args[0])
+	}
+	s.eng.SetAutoRefresh(threshold)
+	fmt.Fprintf(s.out, "auto-refresh threshold = %d\n", threshold)
+	return nil
+}

@@ -1,0 +1,164 @@
+package sse
+
+import (
+	"fmt"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+// FastSAP0 computes the exact SSE of a SAP0 histogram *with optimal
+// summaries* (averages of bucket suffix/prefix sums) in O(B) time via the
+// decomposition lemma: the cross terms vanish because the residuals sum to
+// zero within every bucket, so
+//
+//	SSE = Σ_buckets [ intra + SufErr·(#positions right) + PreErr·(#positions left) ].
+//
+// For summaries that are not the optimal ones the cross terms do not
+// vanish; use Brute then.
+func FastSAP0(tab *prefix.Table, h *histogram.SAP0) float64 {
+	if h.N() != tab.N() {
+		panic(fmt.Sprintf("sse: histogram n=%d does not match data n=%d", h.N(), tab.N()))
+	}
+	n := tab.N()
+	var total float64
+	for i := 0; i < h.Buckets.NumBuckets(); i++ {
+		lo, hi := h.Buckets.Bounds(i)
+		total += tab.IntraCost(lo, hi)
+		total += tab.SuffixVar(lo, hi) * float64(n-1-hi)
+		total += tab.PrefixVar(lo, hi) * float64(lo)
+	}
+	return total
+}
+
+// FastSAP1 computes the exact SSE of a SAP1 histogram with optimal
+// (least-squares) summaries in O(B) time, analogously to FastSAP0 with the
+// variance terms replaced by regression residual sums of squares.
+func FastSAP1(tab *prefix.Table, h *histogram.SAP1) float64 {
+	if h.N() != tab.N() {
+		panic(fmt.Sprintf("sse: histogram n=%d does not match data n=%d", h.N(), tab.N()))
+	}
+	n := tab.N()
+	var total float64
+	for i := 0; i < h.Buckets.NumBuckets(); i++ {
+		lo, hi := h.Buckets.Bounds(i)
+		total += tab.IntraCost(lo, hi)
+		total += tab.SuffixRSS(lo, hi) * float64(n-1-hi)
+		total += tab.PrefixRSS(lo, hi) * float64(lo)
+	}
+	return total
+}
+
+// Of computes the exact SSE of any estimator choosing the fastest valid
+// path: O(n) for prefix-decomposable estimators with exact or
+// cumulative-rounded answering, the O(B) lemma forms for optimal-summary
+// SAP histograms, and the O(n²) definition otherwise.
+func Of(tab *prefix.Table, est Estimator) float64 {
+	switch h := est.(type) {
+	case *histogram.Avg:
+		switch h.Mode {
+		case histogram.RoundNone:
+			return FromCumulative(tab, h)
+		case histogram.RoundCumulative:
+			return RoundedCumulative(tab, h)
+		default:
+			return Brute(tab, est)
+		}
+	case *histogram.SAP0:
+		if sap0HasOptimalSummaries(tab, h) {
+			return FastSAP0(tab, h)
+		}
+		return Brute(tab, est)
+	case *histogram.SAP1:
+		if sap1HasOptimalSummaries(tab, h) {
+			return FastSAP1(tab, h)
+		}
+		return Brute(tab, est)
+	case *histogram.SAP2:
+		if sap2HasOptimalSummaries(tab, h) {
+			return FastSAP2(tab, h)
+		}
+		return Brute(tab, est)
+	case Cumulative:
+		return FromCumulative(tab, h)
+	default:
+		return Brute(tab, est)
+	}
+}
+
+const summaryTol = 1e-6
+
+func sap0HasOptimalSummaries(tab *prefix.Table, h *histogram.SAP0) bool {
+	for i := 0; i < h.Buckets.NumBuckets(); i++ {
+		lo, hi := h.Buckets.Bounds(i)
+		if !near(h.Suff[i], tab.SuffixMean(lo, hi)) || !near(h.Pref[i], tab.PrefixMean(lo, hi)) {
+			return false
+		}
+	}
+	return true
+}
+
+func sap1HasOptimalSummaries(tab *prefix.Table, h *histogram.SAP1) bool {
+	for i := 0; i < h.Buckets.NumBuckets(); i++ {
+		lo, hi := h.Buckets.Bounds(i)
+		ss, si := tab.SuffixLine(lo, hi)
+		ps, pi := tab.PrefixLine(lo, hi)
+		if !near(h.SuffSlope[i], ss) || !near(h.SuffIntercept[i], si) ||
+			!near(h.PrefSlope[i], ps) || !near(h.PrefIntercept[i], pi) {
+			return false
+		}
+	}
+	return true
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if aa := abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := abs(b); ab > scale {
+		scale = ab
+	}
+	return d <= summaryTol*scale
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FastSAP2 computes the exact SSE of a SAP2 histogram with optimal
+// (least-squares quadratic) summaries in O(B), analogously to FastSAP1.
+func FastSAP2(tab *prefix.Table, h *histogram.SAP2) float64 {
+	if h.N() != tab.N() {
+		panic(fmt.Sprintf("sse: histogram n=%d does not match data n=%d", h.N(), tab.N()))
+	}
+	n := tab.N()
+	var total float64
+	for i := 0; i < h.Buckets.NumBuckets(); i++ {
+		lo, hi := h.Buckets.Bounds(i)
+		total += tab.IntraCost(lo, hi)
+		total += tab.SuffixQuadRSS(lo, hi) * float64(n-1-hi)
+		total += tab.PrefixQuadRSS(lo, hi) * float64(lo)
+	}
+	return total
+}
+
+func sap2HasOptimalSummaries(tab *prefix.Table, h *histogram.SAP2) bool {
+	for i := 0; i < h.Buckets.NumBuckets(); i++ {
+		lo, hi := h.Buckets.Bounds(i)
+		s2, s1, s0 := tab.SuffixQuad(lo, hi)
+		p2, p1, p0 := tab.PrefixQuad(lo, hi)
+		if !near(h.Suff2[i], s2) || !near(h.Suff1[i], s1) || !near(h.Suff0[i], s0) ||
+			!near(h.Pref2[i], p2) || !near(h.Pref1[i], p1) || !near(h.Pref0[i], p0) {
+			return false
+		}
+	}
+	return true
+}

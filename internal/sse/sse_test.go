@@ -1,0 +1,304 @@
+package sse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-8*scale
+}
+
+func randCounts(rng *rand.Rand, n int) []int64 {
+	c := make([]int64, n)
+	for i := range c {
+		c[i] = rng.Int63n(60)
+	}
+	return c
+}
+
+// randBucketing produces a random valid bucketing with ≤ b buckets.
+func randBucketing(rng *rand.Rand, n, b int) *histogram.Bucketing {
+	starts := []int{0}
+	for len(starts) < b {
+		pos := 1 + rng.Intn(n-1)
+		dup := false
+		for _, s := range starts {
+			if s == pos {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			starts = append(starts, pos)
+		}
+	}
+	// Bucketing requires sorted starts.
+	for i := 1; i < len(starts); i++ {
+		for j := i; j > 0 && starts[j] < starts[j-1]; j-- {
+			starts[j], starts[j-1] = starts[j-1], starts[j]
+		}
+	}
+	bk, err := histogram.NewBucketing(n, starts)
+	if err != nil {
+		panic(err)
+	}
+	return bk
+}
+
+func TestFromCumulativeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(30)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		b := randBucketing(rng, n, 1+rng.Intn(5))
+		h, err := histogram.NewAvgFromBounds(tab, b, histogram.RoundNone, "OPT-A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := Brute(tab, h)
+		fast := FromCumulative(tab, h)
+		if !approxEq(brute, fast) {
+			t.Fatalf("trial %d: brute %g vs fast %g (starts=%v)", trial, brute, fast, b.Starts)
+		}
+	}
+}
+
+func TestRoundedCumulativeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(20)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		b := randBucketing(rng, n, 1+rng.Intn(4))
+		h, err := histogram.NewAvgFromBounds(tab, b, histogram.RoundCumulative, "OPT-A-r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := Brute(tab, h)
+		fast := RoundedCumulative(tab, h)
+		if !approxEq(brute, fast) {
+			t.Fatalf("trial %d: brute %g vs fast %g", trial, brute, fast)
+		}
+	}
+}
+
+func TestFastSAP0MatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(25)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		b := randBucketing(rng, n, 1+rng.Intn(5))
+		h, err := histogram.NewSAP0FromBounds(tab, b, "SAP0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := Brute(tab, h)
+		fast := FastSAP0(tab, h)
+		if !approxEq(brute, fast) {
+			t.Fatalf("trial %d: brute %g vs fast %g (starts=%v)", trial, brute, fast, b.Starts)
+		}
+	}
+}
+
+func TestFastSAP1MatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(25)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		b := randBucketing(rng, n, 1+rng.Intn(5))
+		h, err := histogram.NewSAP1FromBounds(tab, b, "SAP1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := Brute(tab, h)
+		fast := FastSAP1(tab, h)
+		if !approxEq(brute, fast) {
+			t.Fatalf("trial %d: brute %g vs fast %g (starts=%v)", trial, brute, fast, b.Starts)
+		}
+	}
+}
+
+func TestOfDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n := 18
+	counts := randCounts(rng, n)
+	tab := prefix.NewTable(counts)
+	b := randBucketing(rng, n, 4)
+
+	av, _ := histogram.NewAvgFromBounds(tab, b, histogram.RoundNone, "OPT-A")
+	avr, _ := histogram.NewAvgFromBounds(tab, b, histogram.RoundAnswer, "OPT-A-ra")
+	avc, _ := histogram.NewAvgFromBounds(tab, b, histogram.RoundCumulative, "OPT-A-rc")
+	s0, _ := histogram.NewSAP0FromBounds(tab, b, "SAP0")
+	s1, _ := histogram.NewSAP1FromBounds(tab, b, "SAP1")
+
+	for _, est := range []Estimator{av, avr, avc, s0, s1} {
+		want := Brute(tab, est)
+		if got := Of(tab, est); !approxEq(got, want) {
+			t.Errorf("Of(%T) = %g, want %g", est, got, want)
+		}
+	}
+}
+
+func TestOfFallsBackForNonOptimalSAPSummaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	n := 12
+	counts := randCounts(rng, n)
+	tab := prefix.NewTable(counts)
+	b := randBucketing(rng, n, 3)
+	s0opt, _ := histogram.NewSAP0FromBounds(tab, b, "SAP0")
+	// Perturb one summary so the lemma no longer applies.
+	suff := append([]float64(nil), s0opt.Suff...)
+	pref := append([]float64(nil), s0opt.Pref...)
+	suff[0] += 10
+	s0, err := histogram.NewSAP0(b, suff, pref, "SAP0-perturbed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Brute(tab, s0)
+	if got := Of(tab, s0); !approxEq(got, want) {
+		t.Fatalf("Of(perturbed SAP0) = %g, want brute %g", got, want)
+	}
+	// Sanity: perturbation must cost at least something.
+	if want < Brute(tab, s0opt) {
+		t.Error("perturbed summaries beat the optimal ones — lemma violated")
+	}
+}
+
+func TestOptimalSummariesAreOptimal(t *testing.T) {
+	// Lemma 5 part 2: perturbing any SAP0 summary can only increase SSE.
+	rng := rand.New(rand.NewSource(47))
+	n := 14
+	counts := randCounts(rng, n)
+	tab := prefix.NewTable(counts)
+	b := randBucketing(rng, n, 3)
+	opt, _ := histogram.NewSAP0FromBounds(tab, b, "SAP0")
+	base := Brute(tab, opt)
+	for trial := 0; trial < 20; trial++ {
+		suff := append([]float64(nil), opt.Suff...)
+		pref := append([]float64(nil), opt.Pref...)
+		// Random joint perturbation that is not a pure (+c, −c) shift (which
+		// would be answer-equivalent).
+		for i := range suff {
+			suff[i] += rng.NormFloat64() * 5
+			pref[i] += rng.NormFloat64() * 5
+		}
+		h, err := histogram.NewSAP0(b, suff, pref, "SAP0-p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Brute(tab, h); got < base-1e-6 {
+			t.Fatalf("perturbed SSE %g < optimal %g", got, base)
+		}
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	tab := prefix.NewTable([]int64{4, 0, 2})
+	h := histogram.NewNaive(tab) // avg = 2
+	qs := []Range{{0, 0}, {1, 1}, {2, 2}}
+	m := Evaluate(tab, h, qs)
+	// errors: 4−2=2, 0−2=−2, 2−2=0
+	if m.Queries != 3 {
+		t.Errorf("Queries = %d", m.Queries)
+	}
+	if !approxEq(m.SSE, 8) {
+		t.Errorf("SSE = %g, want 8", m.SSE)
+	}
+	if !approxEq(m.MAE, 4.0/3) {
+		t.Errorf("MAE = %g, want 4/3", m.MAE)
+	}
+	if !approxEq(m.MaxAbs, 2) {
+		t.Errorf("MaxAbs = %g, want 2", m.MaxAbs)
+	}
+	if !approxEq(m.RMS, math.Sqrt(8.0/3)) {
+		t.Errorf("RMS = %g", m.RMS)
+	}
+	// MeanRel skips the zero-truth query: (2/4 + 0/2)/2 = 0.25.
+	if !approxEq(m.MeanRel, 0.25) {
+		t.Errorf("MeanRel = %g, want 0.25", m.MeanRel)
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	n := 10
+	all := AllRanges(n)
+	if len(all) != n*(n+1)/2 {
+		t.Fatalf("AllRanges count = %d", len(all))
+	}
+	for _, q := range all {
+		if q.A < 0 || q.B >= n || q.A > q.B {
+			t.Fatalf("bad range %+v", q)
+		}
+	}
+	for _, q := range RandomRanges(n, 100, 5) {
+		if q.A < 0 || q.B >= n || q.A > q.B {
+			t.Fatalf("bad random range %+v", q)
+		}
+	}
+	for _, q := range ShortRanges(n, 100, 3, 5) {
+		if q.B-q.A+1 > 3 || q.A < 0 || q.B >= n {
+			t.Fatalf("bad short range %+v", q)
+		}
+	}
+	pts := PointQueries(n)
+	if len(pts) != n || pts[3].A != 3 || pts[3].B != 3 {
+		t.Fatalf("bad point queries %v", pts[:4])
+	}
+}
+
+func TestEvaluateOnAllRangesEqualsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	n := 15
+	counts := randCounts(rng, n)
+	tab := prefix.NewTable(counts)
+	b := randBucketing(rng, n, 4)
+	h, _ := histogram.NewAvgFromBounds(tab, b, histogram.RoundNone, "x")
+	m := Evaluate(tab, h, AllRanges(n))
+	if !approxEq(m.SSE, Brute(tab, h)) {
+		t.Fatalf("Evaluate SSE %g != Brute %g", m.SSE, Brute(tab, h))
+	}
+}
+
+func TestBrutePanicsOnMismatch(t *testing.T) {
+	tab := prefix.NewTable([]int64{1, 2, 3})
+	h := histogram.NewNaive(prefix.NewTable([]int64{1, 2}))
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched sizes should panic")
+		}
+	}()
+	Brute(tab, h)
+}
+
+func TestFastSAP2MatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(25)
+		counts := randCounts(rng, n)
+		tab := prefix.NewTable(counts)
+		b := randBucketing(rng, n, 1+rng.Intn(5))
+		h, err := histogram.NewSAP2FromBounds(tab, b, "SAP2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := Brute(tab, h)
+		fast := FastSAP2(tab, h)
+		if !approxEq(brute, fast) {
+			t.Fatalf("trial %d: brute %g vs fast %g (starts=%v)", trial, brute, fast, b.Starts)
+		}
+		// Dispatch picks the fast path for optimal summaries.
+		if got := Of(tab, h); !approxEq(got, brute) {
+			t.Fatalf("trial %d: Of %g vs brute %g", trial, got, brute)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/sse"
+	"rangeagg/internal/wavelet"
+)
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-7*scale
+}
+
+func randCounts(rng *rand.Rand, n int, lim int64) []int64 {
+	c := make([]int64, n)
+	for i := range c {
+		c[i] = rng.Int63n(lim)
+	}
+	return c
+}
+
+// TestPrefixMaintainerTracksRebuild is the central invariant: after any
+// sequence of updates, the maintained coefficients equal a from-scratch
+// transform of the updated distribution.
+func TestPrefixMaintainerTracksRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for _, n := range []int{15, 31, 20} { // aligned and padded cases
+		counts := randCounts(rng, n, 40)
+		m, err := NewPrefixMaintainer(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 200; step++ {
+			v := rng.Intn(n)
+			delta := rng.Int63n(21) - 10
+			if counts[v]+delta < 0 {
+				delta = -counts[v]
+			}
+			counts[v] += delta
+			if delta != 0 {
+				if err := m.Update(v, delta); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		fresh, err := NewPrefixMaintainer(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := m.Coefficients(), fresh.Coefficients()
+		for k := range want {
+			if !approxEq(got[k], want[k]) {
+				t.Fatalf("n=%d: coefficient %d drifted: %g vs %g", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDataMaintainerTracksRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	for _, n := range []int{16, 13} {
+		counts := randCounts(rng, n, 40)
+		m, err := NewDataMaintainer(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 150; step++ {
+			v := rng.Intn(n)
+			delta := rng.Int63n(15) - 7
+			counts[v] += delta
+			if counts[v] < 0 {
+				delta -= counts[v]
+				counts[v] = 0
+			}
+			if delta != 0 {
+				if err := m.Update(v, delta); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		fresh, err := NewDataMaintainer(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := m.Coefficients(), fresh.Coefficients()
+		for k := range want {
+			if !approxEq(got[k], want[k]) {
+				t.Fatalf("n=%d: coefficient %d drifted: %g vs %g", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestSnapshotEqualsStaticBuild: a snapshot after updates answers exactly
+// like the static construction on the updated data.
+func TestSnapshotEqualsStaticBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	n := 31
+	counts := randCounts(rng, n, 60)
+	m, err := NewPrefixMaintainer(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 100; step++ {
+		v := rng.Intn(n)
+		d := rng.Int63n(9) + 1
+		counts[v] += d
+		if err := m.Update(v, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const b = 8
+	snap, err := m.Snapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := prefix.NewTable(counts)
+	static, err := wavelet.NewRangeOpt(tab, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same SSE (coefficient ties may pick different but equal-magnitude
+	// sets, so compare quality rather than identity).
+	gotSSE := sse.Brute(tab, snap)
+	wantSSE := sse.Brute(tab, static)
+	if !approxEq(gotSSE, wantSSE) {
+		t.Fatalf("snapshot SSE %g != static SSE %g", gotSSE, wantSSE)
+	}
+}
+
+func TestDataSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	n := 16
+	counts := randCounts(rng, n, 30)
+	m, err := NewDataMaintainer(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts[3] += 50
+	if err := m.Update(3, 50); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot(16) // full budget: exact answers
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := prefix.NewTable(counts)
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			if got, want := snap.Estimate(a, b), tab.SumF(a, b); !approxEq(got, want) {
+				t.Fatalf("Estimate(%d,%d) = %g, want %g", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMaintainerValidation(t *testing.T) {
+	if _, err := NewPrefixMaintainer(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewDataMaintainer(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	m, _ := NewPrefixMaintainer([]int64{1, 2, 3})
+	if err := m.Update(5, 1); err == nil {
+		t.Error("out-of-domain update accepted")
+	}
+	if err := m.Update(0, -100); err == nil {
+		t.Error("negative-total update accepted")
+	}
+	if _, err := m.Snapshot(0); err == nil {
+		t.Error("b=0 snapshot accepted")
+	}
+	d, _ := NewDataMaintainer([]int64{1, 2, 3})
+	if err := d.Update(-1, 1); err == nil {
+		t.Error("out-of-domain update accepted")
+	}
+	if _, err := d.Snapshot(-1); err == nil {
+		t.Error("b<0 snapshot accepted")
+	}
+}
+
+func TestTotalTracking(t *testing.T) {
+	m, _ := NewPrefixMaintainer([]int64{5, 5})
+	if m.Total() != 10 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if err := m.Update(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 13 {
+		t.Fatalf("total after update = %d", m.Total())
+	}
+}

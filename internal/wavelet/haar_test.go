@@ -1,0 +1,191 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+func TestTransformRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 9, 100} {
+		if _, err := TransformPow2(make([]float64, n)); err == nil {
+			t.Errorf("length %d accepted", n)
+		}
+		if _, err := Inverse(make([]float64, n)); err == nil {
+			t.Errorf("Inverse length %d accepted", n)
+		}
+	}
+}
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128} {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 100
+		}
+		coeffs, err := TransformPow2(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if !approxEq(back[i], data[i]) {
+				t.Fatalf("n=%d: round trip data[%d] = %g, want %g", n, i, back[i], data[i])
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	// Orthonormal transform preserves the L2 norm.
+	f := func(raw []int8) bool {
+		n := NextPow2(len(raw))
+		if n < 2 {
+			n = 2
+		}
+		data := make([]float64, n)
+		for i, v := range raw {
+			data[i] = float64(v)
+		}
+		coeffs, err := TransformPow2(data)
+		if err != nil {
+			return false
+		}
+		var sd, sc float64
+		for i := range data {
+			sd += data[i] * data[i]
+			sc += coeffs[i] * coeffs[i]
+		}
+		return approxEq(sd, sc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBasisVectorsMatchTransform(t *testing.T) {
+	// Reconstructing from a single unit coefficient must produce exactly
+	// the basis vector reported by BasisAt.
+	n := 16
+	for k := 0; k < n; k++ {
+		coeffs := make([]float64, n)
+		coeffs[k] = 1
+		vec, err := Inverse(coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if got := BasisAt(n, k, i); !approxEq(got, vec[i]) {
+				t.Fatalf("BasisAt(%d,%d,%d) = %g, want %g", n, k, i, got, vec[i])
+			}
+		}
+	}
+}
+
+func TestBasisRangeSumMatchesBrute(t *testing.T) {
+	n := 32
+	for k := 0; k < n; k++ {
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				var want float64
+				for i := a; i <= b; i++ {
+					want += BasisAt(n, k, i)
+				}
+				if got := BasisRangeSum(n, k, a, b); !approxEq(got, want) {
+					t.Fatalf("BasisRangeSum(%d,%d,%d,%d) = %g, want %g", n, k, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPathIndicesCoverSupport(t *testing.T) {
+	n := 64
+	for i := 0; i < n; i++ {
+		path := map[int]bool{}
+		for _, k := range PathIndices(n, i) {
+			path[k] = true
+		}
+		for k := 0; k < n; k++ {
+			nonZero := BasisAt(n, k, i) != 0
+			if nonZero && !path[k] {
+				t.Fatalf("coefficient %d non-zero at %d but missing from path %v", k, i, PathIndices(n, i))
+			}
+			if !nonZero && path[k] {
+				t.Fatalf("coefficient %d zero at %d but listed in path", k, i)
+			}
+		}
+	}
+}
+
+func TestPointReconstructionViaPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	n := 32
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 10
+	}
+	coeffs, _ := TransformPow2(data)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, k := range PathIndices(n, i) {
+			sum += coeffs[k] * BasisAt(n, k, i)
+		}
+		if !approxEq(sum, data[i]) {
+			t.Fatalf("path reconstruction at %d = %g, want %g", i, sum, data[i])
+		}
+	}
+}
+
+func TestTopB(t *testing.T) {
+	coeffs := []float64{5, -1, 7, 0.5, -7}
+	kept := TopB(coeffs, 2, false)
+	// Largest |c|: indices 2 and 4 (both 7); result sorted by index.
+	if len(kept) != 2 || kept[0].Index != 2 || kept[1].Index != 4 {
+		t.Fatalf("TopB = %+v", kept)
+	}
+	// Skipping DC with b larger than available.
+	kept = TopB(coeffs, 10, true)
+	if len(kept) != 4 {
+		t.Fatalf("TopB skipDC len = %d, want 4", len(kept))
+	}
+	for _, c := range kept {
+		if c.Index == 0 {
+			t.Fatal("DC kept despite skipDC")
+		}
+	}
+	if got := TopB(coeffs, -3, false); len(got) != 0 {
+		t.Fatalf("negative b should keep nothing, got %v", got)
+	}
+}
+
+func TestPadding(t *testing.T) {
+	in := []float64{1, 2, 3}
+	z := PadZero(in)
+	r := PadRepeat(in)
+	if len(z) != 4 || len(r) != 4 {
+		t.Fatalf("pad lengths %d/%d, want 4", len(z), len(r))
+	}
+	if z[3] != 0 || r[3] != 3 {
+		t.Fatalf("pad values z=%g r=%g", z[3], r[3])
+	}
+	// Already a power of two: unchanged (same backing is fine).
+	four := []float64{1, 2, 3, 4}
+	if got := PadZero(four); len(got) != 4 {
+		t.Fatal("unnecessary pad")
+	}
+	if NextPow2(0) != 1 || NextPow2(1) != 1 || NextPow2(5) != 8 {
+		t.Fatal("NextPow2 wrong")
+	}
+}

@@ -1,0 +1,59 @@
+package rangeagg
+
+import (
+	"io"
+
+	"rangeagg/internal/engine"
+)
+
+// Store is a catalog of named columns, each a full Engine, with JSON
+// persistence: Save records every column's distribution and synopsis
+// specifications, and OpenStore restores them, rebuilding the synopses
+// deterministically.
+type Store struct {
+	inner *engine.Store
+}
+
+// NewStore creates an empty store.
+func NewStore(name string) *Store {
+	return &Store{inner: engine.NewStore(name)}
+}
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.inner.Name() }
+
+// CreateColumn adds a column over [0, domain) and returns its engine.
+func (s *Store) CreateColumn(name string, domain int) (*Engine, error) {
+	e, err := s.inner.CreateColumn(name, domain)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: e}, nil
+}
+
+// Column returns a column's engine by name.
+func (s *Store) Column(name string) (*Engine, error) {
+	e, err := s.inner.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: e}, nil
+}
+
+// DropColumn removes a column, reporting whether it existed.
+func (s *Store) DropColumn(name string) bool { return s.inner.DropColumn(name) }
+
+// Columns lists the column names, sorted.
+func (s *Store) Columns() []string { return s.inner.Columns() }
+
+// Save writes the store as JSON.
+func (s *Store) Save(w io.Writer) error { return s.inner.Save(w) }
+
+// OpenStore restores a store written by Save.
+func OpenStore(r io.Reader) (*Store, error) {
+	inner, err := engine.LoadStore(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: inner}, nil
+}

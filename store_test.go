@@ -1,0 +1,59 @@
+package rangeagg
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestStoreFacadeRoundTrip(t *testing.T) {
+	s := NewStore("wh")
+	col, err := s.CreateColumn("amount", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := ZipfCounts(64, 1.5, 400, 4)
+	if err := col.Load(counts); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.BuildSynopsis("h", Count, Options{Method: SAP1, BudgetWords: 20, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateColumn("age", 16); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "wh" {
+		t.Errorf("name = %q", back.Name())
+	}
+	cols := back.Columns()
+	if len(cols) != 2 || cols[0] != "age" || cols[1] != "amount" {
+		t.Fatalf("columns = %v", cols)
+	}
+	rcol, err := back.Column("amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := col.Approx("h", 3, 40)
+	got, err := rcol.Approx("h", 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("restored approx %g, want %g", got, want)
+	}
+	if !back.DropColumn("age") {
+		t.Error("drop failed")
+	}
+	if _, err := back.Column("age"); err == nil {
+		t.Error("dropped column still present")
+	}
+}
