@@ -13,9 +13,13 @@ import (
 	"io"
 	"testing"
 
+	"rangeagg/internal/advisor"
+	"rangeagg/internal/build"
 	"rangeagg/internal/core"
 	"rangeagg/internal/dataset"
+	"rangeagg/internal/dp"
 	"rangeagg/internal/experiments"
+	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 )
 
@@ -97,7 +101,7 @@ func BenchmarkConstruct(b *testing.B) {
 // scale with the domain size (E8b). OPT-A is excluded here — its
 // pseudo-polynomial cost is studied separately in E7/BenchmarkOptAExact.
 func BenchmarkConstructScaling(b *testing.B) {
-	for _, n := range []int{128, 256, 512, 1024} {
+	for _, n := range []int{128, 256, 512, 1024, 2048} {
 		counts, err := ZipfCounts(n, 1.8, 1000, 1)
 		if err != nil {
 			b.Fatal(err)
@@ -111,6 +115,86 @@ func BenchmarkConstructScaling(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkConstructSerialVsParallel pins the DP worker pool's effect on
+// the heavy constructions: the same build at pool width 1 (the serial
+// rolling-row kernels) and at the machine's width. Output is identical at
+// both widths; only wall-clock should differ (on multi-core hosts).
+func BenchmarkConstructSerialVsParallel(b *testing.B) {
+	for _, n := range []int{1024, 2048} {
+		counts, err := ZipfCounts(n, 1.8, 1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range []Method{SAP0, SAP1} {
+			for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+				name := fmt.Sprintf("%s/n=%d/workers=max", m, n)
+				if workers == 1 {
+					name = fmt.Sprintf("%s/n=%d/workers=1", m, n)
+				}
+				b.Run(name, func(b *testing.B) {
+					prev := parallel.SetWorkers(workers)
+					defer parallel.SetWorkers(prev)
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := Build(counts, Options{Method: m, BudgetWords: 32, Seed: 1}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkDPKernel isolates the DP layer itself: the seed's 2-D
+// closure-dispatch implementation (dp.SolveReference) against the
+// rewritten rolling-row driver with the inlined SAP0 kernel — the
+// before/after pair recorded in BENCH_dp.json.
+func BenchmarkDPKernel(b *testing.B) {
+	for _, n := range []int{512, 1024, 2048} {
+		counts, err := ZipfCounts(n, 1.8, 1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab := prefix.NewTable(counts)
+		const buckets = 10 // SAP0 units of a 32-word budget
+		b.Run(fmt.Sprintf("reference/n=%d", n), func(b *testing.B) {
+			cost := dp.SAP0Cost(tab)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dp.SolveReference(tab.N(), buckets, cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("closure/n=%d", n), func(b *testing.B) {
+			cost := dp.SAP0Cost(tab)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dp.Solve(tab.N(), buckets, cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdvisorSweep measures the advisor's concurrent candidate sweep
+// (the polynomial methods at one budget).
+func BenchmarkAdvisorSweep(b *testing.B) {
+	counts := PaperCounts()
+	cfg := advisor.Config{BudgetWords: 32, Methods: []build.Method{
+		build.EquiWidth, build.EquiDepth, build.MaxDiff, build.PointOpt,
+		build.A0, build.SAP0, build.SAP1, build.WaveTopBB,
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := advisor.Recommend(counts, nil, cfg); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

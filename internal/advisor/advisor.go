@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/sse"
 )
@@ -48,9 +49,11 @@ type Config struct {
 	MaxStates int
 }
 
-// Recommend evaluates candidate methods on the workload and returns them
-// ranked by workload SSE (ties by storage, then build time). The workload
-// may be nil, in which case the paper's all-ranges metric is used.
+// Recommend evaluates candidate methods on the workload — concurrently,
+// over the shared worker pool — and returns them ranked by workload SSE
+// (ties by storage, then candidate order; the ranking is deterministic).
+// The workload may be nil, in which case the paper's all-ranges metric is
+// used.
 func Recommend(counts []int64, queries []sse.Range, cfg Config) ([]Candidate, error) {
 	if len(counts) == 0 {
 		return nil, fmt.Errorf("advisor: empty distribution")
@@ -72,8 +75,12 @@ func Recommend(counts []int64, queries []sse.Range, cfg Config) ([]Candidate, er
 		}
 	}
 	tab := prefix.NewTable(counts)
-	out := make([]Candidate, 0, len(methods))
-	for _, m := range methods {
+	// Build and score every candidate concurrently over the shared worker
+	// pool. Each candidate writes only its own indexed slot, so the result
+	// is deterministic regardless of pool width or scheduling.
+	out := make([]Candidate, len(methods))
+	parallel.ForEach(len(methods), func(idx int) {
+		m := methods[idx]
 		c := Candidate{Method: m}
 		start := time.Now()
 		est, err := build.Build(counts, build.Options{
@@ -84,8 +91,8 @@ func Recommend(counts []int64, queries []sse.Range, cfg Config) ([]Candidate, er
 		if err != nil {
 			c.Err = err
 			c.SSE = math.Inf(1)
-			out = append(out, c)
-			continue
+			out[idx] = c
+			return
 		}
 		c.StorageWords = est.StorageWords()
 		if len(queries) == 0 {
@@ -97,16 +104,15 @@ func Recommend(counts []int64, queries []sse.Range, cfg Config) ([]Candidate, er
 			c.SSE = metrics.SSE
 			c.RMS = metrics.RMS
 		}
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool {
+		out[idx] = c
+	})
+	// Ties break by storage, then candidate (= Method) order — never by
+	// measured build time, which would make the ranking non-reproducible.
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].SSE != out[j].SSE {
 			return out[i].SSE < out[j].SSE
 		}
-		if out[i].StorageWords != out[j].StorageWords {
-			return out[i].StorageWords < out[j].StorageWords
-		}
-		return out[i].BuildTime < out[j].BuildTime
+		return out[i].StorageWords < out[j].StorageWords
 	})
 	return out, nil
 }

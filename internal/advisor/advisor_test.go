@@ -6,6 +6,7 @@ import (
 
 	"rangeagg/internal/build"
 	"rangeagg/internal/dataset"
+	"rangeagg/internal/parallel"
 	"rangeagg/internal/sse"
 )
 
@@ -133,3 +134,38 @@ func TestBestSkipsFailures(t *testing.T) {
 type errFake struct{}
 
 func (errFake) Error() string { return "fake" }
+
+// TestRecommendDeterministicAcrossPoolWidths pins the concurrent sweep's
+// reproducibility: the full ranking (methods, SSEs, storage) must be
+// identical at any worker-pool width.
+func TestRecommendDeterministicAcrossPoolWidths(t *testing.T) {
+	counts := make([]int64, 40)
+	for i := range counts {
+		counts[i] = int64(500 / (i + 1))
+	}
+	cfg := Config{BudgetWords: 16, Seed: 1}
+	prev := parallel.SetWorkers(1)
+	serial, err := Recommend(counts, nil, cfg)
+	parallel.SetWorkers(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		prev := parallel.SetWorkers(workers)
+		got, err := Recommend(counts, nil, cfg)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("w=%d: %d candidates, want %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i].Method != serial[i].Method || got[i].SSE != serial[i].SSE ||
+				got[i].StorageWords != serial[i].StorageWords {
+				t.Errorf("w=%d: rank %d = %s (SSE %v), serial has %s (SSE %v)",
+					workers, i, got[i].Method, got[i].SSE, serial[i].Method, serial[i].SSE)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package dp
+
+import (
+	"fmt"
+	"testing"
+
+	"rangeagg/internal/dataset"
+	"rangeagg/internal/prefix"
+)
+
+// The three DP implementations, worst (seed) to best: the seed's 2-D
+// tables with closure dispatch (SolveReference), the rolling-row pruned
+// driver still paying a closure per candidate (Solve), and the fully
+// inlined prefix-moment kernels (what dp.SAP0/SAP1/A0/PointOpt run).
+// BENCH_dp.json records a measured triple.
+func benchSolvers(b *testing.B, makeCost func(*prefix.Table) CostFunc, makeKernel func(*prefix.Table) rowKernel) {
+	for _, n := range []int{512, 1024, 2048} {
+		d, err := dataset.Zipf(dataset.ZipfConfig{N: n, Alpha: 1.8, MaxCount: 1000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab := prefix.NewTable(d.Counts)
+		const buckets = 10
+		b.Run(fmt.Sprintf("reference/n=%d", n), func(b *testing.B) {
+			cost := makeCost(tab)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SolveReference(n, buckets, cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("closure/n=%d", n), func(b *testing.B) {
+			cost := makeCost(tab)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Solve(n, buckets, cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("kernel/n=%d", n), func(b *testing.B) {
+			kernel := makeKernel(tab)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solveLayers(n, buckets, kernel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveSAP0(b *testing.B) { benchSolvers(b, SAP0Cost, sap0Kernel) }
+
+func BenchmarkSolveSAP1(b *testing.B) { benchSolvers(b, SAP1Cost, sap1Kernel) }

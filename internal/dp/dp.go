@@ -11,9 +11,6 @@
 package dp
 
 import (
-	"fmt"
-	"math"
-
 	"rangeagg/internal/histogram"
 	"rangeagg/internal/prefix"
 )
@@ -22,79 +19,12 @@ import (
 // single bucket. It must be non-negative.
 type CostFunc func(l, r int) float64
 
-// Solve finds starts of the partition of [0,n) into at most maxBuckets
-// non-empty contiguous buckets minimizing Σ cost(bucket), by the standard
-// O(n²·B) interval dynamic program.
-func Solve(n, maxBuckets int, cost CostFunc) (starts []int, total float64, err error) {
-	if n <= 0 {
-		return nil, 0, fmt.Errorf("dp: empty domain (n=%d)", n)
-	}
-	if maxBuckets <= 0 {
-		return nil, 0, fmt.Errorf("dp: need at least one bucket, got %d", maxBuckets)
-	}
-	if maxBuckets > n {
-		maxBuckets = n
-	}
-	const inf = math.MaxFloat64
-	// e[k][i]: best cost of covering the first i values with exactly k
-	// buckets; choice[k][i]: the j achieving it (last bucket = [j, i-1]).
-	e := make([][]float64, maxBuckets+1)
-	choice := make([][]int, maxBuckets+1)
-	for k := range e {
-		e[k] = make([]float64, n+1)
-		choice[k] = make([]int, n+1)
-		for i := range e[k] {
-			e[k][i] = inf
-			choice[k][i] = -1
-		}
-	}
-	e[0][0] = 0
-	for k := 1; k <= maxBuckets; k++ {
-		for i := k; i <= n; i++ {
-			best := inf
-			bestJ := -1
-			for j := k - 1; j < i; j++ {
-				if e[k-1][j] == inf {
-					continue
-				}
-				c := e[k-1][j] + cost(j, i-1)
-				if c < best {
-					best, bestJ = c, j
-				}
-			}
-			e[k][i] = best
-			choice[k][i] = bestJ
-		}
-	}
-	bestK, bestCost := 0, inf
-	for k := 1; k <= maxBuckets; k++ {
-		if e[k][n] < bestCost {
-			bestCost, bestK = e[k][n], k
-		}
-	}
-	if bestK == 0 {
-		return nil, 0, fmt.Errorf("dp: no feasible bucketing for n=%d B=%d", n, maxBuckets)
-	}
-	starts = make([]int, bestK)
-	i := n
-	for k := bestK; k >= 1; k-- {
-		j := choice[k][i]
-		starts[k-1] = j
-		i = j
-	}
-	return starts, bestCost, nil
-}
-
 // SAP0 constructs the range-optimal SAP0 histogram (Theorem 6) with at
-// most b buckets: O(n²B) time via the decomposition lemma.
+// most b buckets: O(n²B) time via the decomposition lemma, run through
+// the inlined SAP0 kernel (kernels.go) on the parallel layer driver.
 func SAP0(tab *prefix.Table, b int) (*histogram.SAP0, error) {
 	n := tab.N()
-	cost := func(l, r int) float64 {
-		return tab.IntraCost(l, r) +
-			tab.SuffixVar(l, r)*float64(n-1-r) +
-			tab.PrefixVar(l, r)*float64(l)
-	}
-	starts, _, err := Solve(n, b, cost)
+	starts, _, err := solveLayers(n, b, sap0Kernel(tab))
 	if err != nil {
 		return nil, err
 	}
@@ -109,12 +39,7 @@ func SAP0(tab *prefix.Table, b int) (*histogram.SAP0, error) {
 // most b buckets.
 func SAP1(tab *prefix.Table, b int) (*histogram.SAP1, error) {
 	n := tab.N()
-	cost := func(l, r int) float64 {
-		return tab.IntraCost(l, r) +
-			tab.SuffixRSS(l, r)*float64(n-1-r) +
-			tab.PrefixRSS(l, r)*float64(l)
-	}
-	starts, _, err := Solve(n, b, cost)
+	starts, _, err := solveLayers(n, b, sap1Kernel(tab))
 	if err != nil {
 		return nil, err
 	}
@@ -134,11 +59,7 @@ func SAP1(tab *prefix.Table, b int) (*histogram.SAP1, error) {
 // histogram; it is not optimal.
 func A0(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
 	n := tab.N()
-	cost := func(l, r int) float64 {
-		_, _, sumE2 := tab.AvgFit(l, r)
-		return tab.IntraCost(l, r) + sumE2*float64(n-1-r) + sumE2*float64(l)
-	}
-	starts, _, err := Solve(n, b, cost)
+	starts, _, err := solveLayers(n, b, a0Kernel(tab))
 	if err != nil {
 		return nil, err
 	}
@@ -214,20 +135,7 @@ func weightedVOpt(tab *prefix.Table, counts []int64, w []float64, b int, mode hi
 		cwa[i+1] = cwa[i] + w[i]*a
 		cwa2[i+1] = cwa2[i] + w[i]*a*a
 	}
-	cost := func(l, r int) float64 {
-		sw := cw[r+1] - cw[l]
-		swa := cwa[r+1] - cwa[l]
-		swa2 := cwa2[r+1] - cwa2[l]
-		if sw == 0 {
-			return 0
-		}
-		c := swa2 - swa*swa/sw
-		if c < 0 {
-			c = 0
-		}
-		return c
-	}
-	starts, _, err := Solve(n, b, cost)
+	starts, _, err := solveLayers(n, b, weightedKernel(cw, cwa, cwa2))
 	if err != nil {
 		return nil, err
 	}

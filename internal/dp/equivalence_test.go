@@ -1,0 +1,164 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/dataset"
+	"rangeagg/internal/parallel"
+	"rangeagg/internal/prefix"
+)
+
+// The rewritten DP (rolling rows, pruning, parallel layers, inlined
+// kernels) must reproduce the seed implementation bit-for-bit: same
+// bucket starts, same total cost (exact float equality), at every pool
+// width. SolveReference is the seed oracle.
+
+func equivDatasets(t *testing.T) map[string][]int64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	uniform := make([]int64, 96)
+	for i := range uniform {
+		uniform[i] = int64(rng.Intn(50))
+	}
+	spike := make([]int64, 80)
+	for i := range spike {
+		spike[i] = 1
+	}
+	spike[17], spike[63] = 5000, 900
+	zipf, err := dataset.Zipf(dataset.ZipfConfig{N: 150, Alpha: 1.3, MaxCount: 800, Permute: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := dataset.Zipf(dataset.DefaultPaper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]int64{
+		"uniform":    uniform,
+		"spike":      spike,
+		"zipf":       zipf.Counts,
+		"paper-zipf": paper.Counts, // the 127-key rounded Zipf(1.8) input
+	}
+}
+
+func sameSolution(t *testing.T, label string, wantStarts []int, wantTotal float64, gotStarts []int, gotTotal float64) {
+	t.Helper()
+	if gotTotal != wantTotal { // exact: the paths must be bit-identical
+		t.Fatalf("%s: total = %v, want %v", label, gotTotal, wantTotal)
+	}
+	if len(gotStarts) != len(wantStarts) {
+		t.Fatalf("%s: %d buckets, want %d", label, len(gotStarts), len(wantStarts))
+	}
+	for i := range gotStarts {
+		if gotStarts[i] != wantStarts[i] {
+			t.Fatalf("%s: starts[%d] = %d, want %d (%v vs %v)",
+				label, i, gotStarts[i], wantStarts[i], gotStarts, wantStarts)
+		}
+	}
+}
+
+// TestSolveMatchesReference checks the generic closure path (rolling rows
+// + pruning + parallel layers) against the seed DP for every specialized
+// cost function, at pool widths 1 and 4.
+func TestSolveMatchesReference(t *testing.T) {
+	for name, counts := range equivDatasets(t) {
+		tab := prefix.NewTable(counts)
+		costs := map[string]CostFunc{
+			"sap0": SAP0Cost(tab),
+			"sap1": SAP1Cost(tab),
+			"a0":   A0Cost(tab),
+		}
+		for _, b := range []int{1, 2, 5, 11} {
+			for cname, cost := range costs {
+				wantStarts, wantTotal, err := SolveReference(tab.N(), b, cost)
+				if err != nil {
+					t.Fatalf("%s/%s/b=%d: reference: %v", name, cname, b, err)
+				}
+				for _, workers := range []int{1, 4} {
+					prevW := parallel.SetWorkers(workers)
+					starts, total, err := Solve(tab.N(), b, cost)
+					parallel.SetWorkers(prevW)
+					if err != nil {
+						t.Fatalf("%s/%s/b=%d/w=%d: %v", name, cname, b, workers, err)
+					}
+					sameSolution(t, name+"/"+cname, wantStarts, wantTotal, starts, total)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelsMatchClosures checks each inlined kernel against the closure
+// form of the same cost on the parallel driver — this is the test that
+// pins the kernels' floating-point operation order.
+func TestKernelsMatchClosures(t *testing.T) {
+	for name, counts := range equivDatasets(t) {
+		tab := prefix.NewTable(counts)
+		n := tab.N()
+		// Weighted V-optimal moments for the POINT-OPT weights.
+		cw := make([]float64, n+1)
+		cwa := make([]float64, n+1)
+		cwa2 := make([]float64, n+1)
+		for i := 0; i < n; i++ {
+			a := float64(counts[i])
+			w := float64(i+1) * float64(n-i)
+			cw[i+1] = cw[i] + w
+			cwa[i+1] = cwa[i] + w*a
+			cwa2[i+1] = cwa2[i] + w*a*a
+		}
+		pairs := []struct {
+			label  string
+			kernel rowKernel
+			cost   CostFunc
+		}{
+			{"sap0", sap0Kernel(tab), SAP0Cost(tab)},
+			{"sap1", sap1Kernel(tab), SAP1Cost(tab)},
+			{"a0", a0Kernel(tab), A0Cost(tab)},
+			{"pointopt", weightedKernel(cw, cwa, cwa2), weightedCost(cw, cwa, cwa2)},
+		}
+		for _, b := range []int{1, 3, 8, 16} {
+			for _, p := range pairs {
+				wantStarts, wantTotal, err := SolveReference(n, b, p.cost)
+				if err != nil {
+					t.Fatalf("%s/%s/b=%d: reference: %v", name, p.label, b, err)
+				}
+				for _, workers := range []int{1, 4} {
+					prevW := parallel.SetWorkers(workers)
+					starts, total, err := solveLayers(n, b, p.kernel)
+					parallel.SetWorkers(prevW)
+					if err != nil {
+						t.Fatalf("%s/%s/b=%d/w=%d: %v", name, p.label, b, workers, err)
+					}
+					sameSolution(t, name+"/"+p.label, wantStarts, wantTotal, starts, total)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveEdgeCases pins the rewritten driver's behaviour on the
+// boundaries the seed handled: n=1, B>n, invalid inputs.
+func TestSolveEdgeCases(t *testing.T) {
+	unit := func(l, r int) float64 { return float64(r - l + 1) }
+	if _, _, err := Solve(0, 3, unit); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, _, err := Solve(5, 0, unit); err == nil {
+		t.Error("B=0: want error")
+	}
+	starts, total, err := Solve(1, 1, unit)
+	if err != nil || len(starts) != 1 || starts[0] != 0 || total != 1 {
+		t.Errorf("n=1: starts=%v total=%v err=%v", starts, total, err)
+	}
+	// B > n must clamp, matching the reference.
+	ws, wt, err := SolveReference(4, 9, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, gt, err := Solve(4, 9, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "clamp", ws, wt, gs, gt)
+}

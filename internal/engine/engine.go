@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/sse"
 )
@@ -230,6 +231,63 @@ func (e *Engine) BuildSynopsis(name string, metric Metric, opt build.Options) (*
 	defer e.mu.Unlock()
 	e.synopses[name] = s
 	return s, nil
+}
+
+// SynopsisSpec names one synopsis of a BuildSynopses batch.
+type SynopsisSpec struct {
+	Name    string
+	Metric  Metric
+	Options build.Options
+}
+
+// BuildSynopses constructs the specified synopses concurrently over the
+// shared worker pool and registers them atomically: either every build
+// succeeds and all synopses are installed (replacing same-named ones), or
+// none is registered and the first failure (in spec order) is returned.
+// All builds see the same snapshot of the data.
+func (e *Engine) BuildSynopses(specs []SynopsisSpec) ([]*Synopsis, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		if seen[sp.Name] {
+			return nil, fmt.Errorf("engine: duplicate synopsis name %q in batch", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+	e.mu.Lock()
+	version := e.version
+	countsByMetric := map[Metric][]int64{}
+	for _, sp := range specs {
+		if _, ok := countsByMetric[sp.Metric]; !ok {
+			countsByMetric[sp.Metric] = e.metricCounts(sp.Metric)
+		}
+	}
+	e.mu.Unlock()
+
+	out := make([]*Synopsis, len(specs))
+	errs := make([]error, len(specs))
+	parallel.ForEach(len(specs), func(i int) {
+		sp := specs[i]
+		est, err := build.Build(countsByMetric[sp.Metric], sp.Options)
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: building synopsis %q: %w", sp.Name, err)
+			return
+		}
+		out[i] = &Synopsis{Name: sp.Name, Metric: sp.Metric, Options: sp.Options, Est: est, Version: version}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range out {
+		e.synopses[s.Name] = s
+	}
+	return out, nil
 }
 
 // DropSynopsis removes a named synopsis; it reports whether it existed.

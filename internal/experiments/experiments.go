@@ -16,6 +16,7 @@ import (
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/grid"
 	"rangeagg/internal/histogram"
+	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/reopt"
 	"rangeagg/internal/sse"
@@ -123,6 +124,21 @@ func roundingFor(m build.Method) histogram.Rounding {
 	}
 }
 
+// forEachIndexed runs fn for every index in [0, n) concurrently over the
+// shared worker pool and returns the first error in index order. Each fn
+// call writes only its own per-index results, so every experiment table
+// comes out deterministic regardless of pool width.
+func forEachIndexed(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	parallel.ForEach(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // buildAndScore constructs a method at a budget with its paper-defined
 // answering procedure and returns its exact SSE over all ranges.
 func buildAndScore(counts []int64, tab *prefix.Table, opt build.Options) (float64, error) {
@@ -156,26 +172,26 @@ func Fig1(cfg Config) (*Table, error) {
 	for _, w := range cfg.Budgets {
 		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
 	}
-	for _, m := range methods {
-		row := Row{Label: m.String()}
-		for _, w := range cfg.Budgets {
-			if m == build.Naive {
-				v, err := buildAndScore(counts, tab, build.Options{Method: m})
-				if err != nil {
-					return nil, err
-				}
-				row.Values = append(row.Values, v)
-				continue
-			}
-			v, err := buildAndScore(counts, tab, build.Options{
-				Method: m, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %s w=%d: %w", m, w, err)
-			}
-			row.Values = append(row.Values, v)
+	nb := len(cfg.Budgets)
+	vals := make([]float64, len(methods)*nb)
+	err = forEachIndexed(len(vals), func(idx int) error {
+		m, w := methods[idx/nb], cfg.Budgets[idx%nb]
+		opt := build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates}
+		if m == build.Naive {
+			opt = build.Options{Method: m}
 		}
-		t.Rows = append(t.Rows, row)
+		v, err := buildAndScore(counts, tab, opt)
+		if err != nil {
+			return fmt.Errorf("fig1 %s w=%d: %w", m, w, err)
+		}
+		vals[idx] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range methods {
+		t.Rows = append(t.Rows, Row{Label: m.String(), Values: vals[mi*nb : (mi+1)*nb]})
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: NAIVE worst by orders of magnitude; OPT-A best; range-aware heuristics (A0) close behind;",
@@ -213,18 +229,30 @@ func ratioTable(cfg Config, id, title string, num, den build.Method, note string
 	numRow := Row{Label: num.String()}
 	denRow := Row{Label: den.String()}
 	ratioRow := Row{Label: "ratio"}
+	nb := len(cfg.Budgets)
+	nvs := make([]float64, nb)
+	dvs := make([]float64, nb)
+	err = forEachIndexed(2*nb, func(idx int) error {
+		m, out := num, nvs
+		if idx >= nb {
+			m, out = den, dvs
+		}
+		w := cfg.Budgets[idx%nb]
+		v, err := buildAndScore(counts, tab, build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates})
+		if err != nil {
+			return err
+		}
+		out[idx%nb] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var maxRatio, sumRatio float64
 	var count int
-	for _, w := range cfg.Budgets {
+	for i, w := range cfg.Budgets {
 		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
-		nv, err := buildAndScore(counts, tab, build.Options{Method: num, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates})
-		if err != nil {
-			return nil, err
-		}
-		dv, err := buildAndScore(counts, tab, build.Options{Method: den, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates})
-		if err != nil {
-			return nil, err
-		}
+		nv, dv := nvs[i], dvs[i]
 		r := math.NaN()
 		if dv > 0 {
 			r = nv / dv
@@ -256,16 +284,26 @@ func Sap0Rank(cfg Config) (*Table, error) {
 	tab := prefix.NewTable(counts)
 	methods := []build.Method{build.SAP0, build.A0, build.SAP1, build.SAP2, build.OptA}
 	t := &Table{ID: "E4", Title: "SAP0 vs other range-aware histograms (SSE at equal words)"}
+	nb := len(cfg.Budgets)
+	flat := make([]float64, len(methods)*nb)
+	err = forEachIndexed(len(flat), func(idx int) error {
+		m, w := methods[idx/nb], cfg.Budgets[idx%nb]
+		v, err := buildAndScore(counts, tab, build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates})
+		if err != nil {
+			return err
+		}
+		flat[idx] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	vals := make(map[build.Method][]float64)
 	for _, w := range cfg.Budgets {
 		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
-		for _, m := range methods {
-			v, err := buildAndScore(counts, tab, build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed, MaxStates: cfg.MaxStates})
-			if err != nil {
-				return nil, err
-			}
-			vals[m] = append(vals[m], v)
-		}
+	}
+	for mi, m := range methods {
+		vals[m] = flat[mi*nb : (mi+1)*nb]
 	}
 	for _, m := range methods {
 		t.Rows = append(t.Rows, Row{Label: m.String(), Values: vals[m]})
@@ -354,16 +392,22 @@ func WaveletStudy(cfg Config) (*Table, error) {
 	for _, w := range cfg.Budgets {
 		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
 	}
-	for _, m := range methods {
-		row := Row{Label: m.String()}
-		for _, w := range cfg.Budgets {
-			v, err := buildAndScore(counts, tab, build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed})
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, v)
+	nb := len(cfg.Budgets)
+	vals := make([]float64, len(methods)*nb)
+	err = forEachIndexed(len(vals), func(idx int) error {
+		m, w := methods[idx/nb], cfg.Budgets[idx%nb]
+		v, err := buildAndScore(counts, tab, build.Options{Method: m, BudgetWords: w, Seed: cfg.Seed})
+		if err != nil {
+			return err
 		}
-		t.Rows = append(t.Rows, row)
+		vals[idx] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, m := range methods {
+		t.Rows = append(t.Rows, Row{Label: m.String(), Values: vals[mi*nb : (mi+1)*nb]})
 	}
 	t.Notes = append(t.Notes, "paper: wavelet results were qualitatively worse than histogram methods")
 	return t, nil
@@ -468,26 +512,37 @@ func PrefixStudy(cfg Config) (*Table, error) {
 	for _, label := range order {
 		rows[label] = &Row{Label: label}
 	}
+	methods := []build.Method{build.PrefixOpt, build.OptA}
+	nb := len(cfg.Budgets)
+	prefixSSE := make([]float64, len(methods)*nb)
+	rangeSSE := make([]float64, len(methods)*nb)
+	err = forEachIndexed(len(prefixSSE), func(idx int) error {
+		m, w := methods[idx/nb], cfg.Budgets[idx%nb]
+		// Both methods answer unrounded here: PREFIX-OPT's optimality
+		// claim is for the real-valued prefix objective, and mixing in
+		// integer rounding noise would blur the class comparison at
+		// large budgets.
+		est, err := build.Build(counts, build.Options{
+			Method: m, BudgetWords: w, Seed: cfg.Seed,
+			MaxStates: cfg.MaxStates,
+		})
+		if err != nil {
+			return err
+		}
+		prefixSSE[idx] = sse.Evaluate(tab, est, prefixQueries).SSE
+		rangeSSE[idx] = sse.Of(tab, est)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, w := range cfg.Budgets {
 		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
-		for _, m := range []build.Method{build.PrefixOpt, build.OptA} {
-			// Both methods answer unrounded here: PREFIX-OPT's optimality
-			// claim is for the real-valued prefix objective, and mixing in
-			// integer rounding noise would blur the class comparison at
-			// large budgets.
-			est, err := build.Build(counts, build.Options{
-				Method: m, BudgetWords: w, Seed: cfg.Seed,
-				MaxStates: cfg.MaxStates,
-			})
-			if err != nil {
-				return nil, err
-			}
-			pm := sse.Evaluate(tab, est, prefixQueries)
-			full := sse.Of(tab, est)
-			name := m.String()
-			rows[name+" (prefix)"].Values = append(rows[name+" (prefix)"].Values, pm.SSE)
-			rows[name+" (ranges)"].Values = append(rows[name+" (ranges)"].Values, full)
-		}
+	}
+	for mi, m := range methods {
+		name := m.String()
+		rows[name+" (prefix)"].Values = prefixSSE[mi*nb : (mi+1)*nb]
+		rows[name+" (ranges)"].Values = rangeSSE[mi*nb : (mi+1)*nb]
 	}
 	for _, label := range order {
 		t.Rows = append(t.Rows, *rows[label])
@@ -617,20 +672,25 @@ func HeuristicStudy(cfg Config) (*Table, error) {
 	for _, w := range cfg.Budgets {
 		t.Columns = append(t.Columns, fmt.Sprintf("w=%d", w))
 	}
-	for _, spec := range specs {
-		row := Row{Label: spec.label}
-		for _, w := range cfg.Budgets {
-			opt := spec.opt
-			opt.BudgetWords = w
-			opt.Seed = cfg.Seed
-			opt.MaxStates = cfg.MaxStates
-			est, err := build.Build(counts, opt)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, sse.Of(tab, est))
+	nb := len(cfg.Budgets)
+	vals := make([]float64, len(specs)*nb)
+	err = forEachIndexed(len(vals), func(idx int) error {
+		opt := specs[idx/nb].opt
+		opt.BudgetWords = cfg.Budgets[idx%nb]
+		opt.Seed = cfg.Seed
+		opt.MaxStates = cfg.MaxStates
+		est, err := build.Build(counts, opt)
+		if err != nil {
+			return err
 		}
-		t.Rows = append(t.Rows, row)
+		vals[idx] = sse.Of(tab, est)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		t.Rows = append(t.Rows, Row{Label: spec.label, Values: vals[si*nb : (si+1)*nb]})
 	}
 	t.Notes = append(t.Notes,
 		"the paper's closing point: improvement operators are general; ls+reopt lifts even equi-width",

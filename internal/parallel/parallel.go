@@ -1,0 +1,134 @@
+// Package parallel provides the bounded worker pool shared by every
+// concurrent construction path in this repository: the layer-parallel
+// dynamic programs of internal/dp, the advisor's candidate sweep, the
+// experiments fan-out, and the engine's batch synopsis builds.
+//
+// The pool is a process-global budget of extra worker goroutines, capped
+// at Workers() (GOMAXPROCS by default, overridable with SetWorkers or the
+// RANGEAGG_WORKERS environment variable). Helpers never block waiting for
+// a slot: when the budget is exhausted — including when a parallel region
+// is nested inside another — the caller simply runs the work inline. That
+// makes nesting (an experiment building a synopsis whose DP parallelizes
+// its own layers) safe by construction: no deadlocks, and the total number
+// of running workers stays bounded instead of multiplying.
+//
+// All helpers assign work by index, so callers that write results into
+// per-index slots get deterministic, scheduling-independent output.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers is the configured concurrency width (≥ 1).
+var maxWorkers atomic.Int64
+
+// inflight counts extra worker goroutines currently running across all
+// parallel regions; it never exceeds maxWorkers − 1 (the caller's own
+// goroutine is the remaining worker).
+var inflight atomic.Int64
+
+func init() {
+	w := runtime.GOMAXPROCS(0)
+	if v := os.Getenv("RANGEAGG_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			w = n
+		}
+	}
+	maxWorkers.Store(int64(w))
+}
+
+// Workers returns the current concurrency width.
+func Workers() int { return int(maxWorkers.Load()) }
+
+// SetWorkers sets the concurrency width and returns the previous value.
+// n ≤ 0 resets to GOMAXPROCS. Safe for concurrent use; regions already
+// running keep the width they started with.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// tryAcquire reserves one extra-worker slot if the global budget allows.
+func tryAcquire() bool {
+	limit := maxWorkers.Load() - 1
+	for {
+		cur := inflight.Load()
+		if cur >= limit {
+			return false
+		}
+		if inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func release() { inflight.Add(-1) }
+
+// ForEachChunk runs fn over the index range [0, n) split into chunks of
+// at most grain consecutive indices, distributing chunks dynamically over
+// the pool. fn(lo, hi) must process indices [lo, hi). fn is called
+// concurrently from multiple goroutines; distinct calls never overlap in
+// index range. ForEachChunk returns when all indices are processed.
+func ForEachChunk(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	want := Workers()
+	if chunks < want {
+		want = chunks
+	}
+	var next atomic.Int64
+	drain := func() {
+		for {
+			lo := int(next.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	if want <= 1 {
+		drain()
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < want; i++ {
+		if !tryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			drain()
+		}()
+	}
+	drain()
+	wg.Wait()
+}
+
+// ForEach runs fn for every index in [0, n), one index per task, over the
+// pool. Use for coarse-grained tasks (building a whole synopsis); prefer
+// ForEachChunk for fine-grained loops.
+func ForEach(n int, fn func(i int)) {
+	ForEachChunk(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		seen := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachChunkDisjointCoverage(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	const n = 517
+	seen := make([]int32, n)
+	ForEachChunk(n, 13, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestNestedRegionsComplete(t *testing.T) {
+	defer SetWorkers(SetWorkers(3))
+	var total atomic.Int64
+	ForEach(10, func(i int) {
+		ForEach(10, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 100 {
+		t.Fatalf("nested total = %d, want 100", total.Load())
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(5)
+	if Workers() != 5 {
+		t.Errorf("Workers() = %d, want 5", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("reset Workers() = %d, want GOMAXPROCS", Workers())
+	}
+	SetWorkers(prev)
+}
+
+func TestSerialWidthRunsInline(t *testing.T) {
+	defer SetWorkers(SetWorkers(1))
+	var count int // no atomics: width 1 must be strictly sequential
+	ForEachChunk(100, 7, func(lo, hi int) { count += hi - lo })
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+}

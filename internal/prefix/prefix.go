@@ -346,6 +346,24 @@ func (t *Table) Counts() []int64 {
 	return c
 }
 
+// Moments exposes the raw prefix and cumulative-moment slices for
+// allocation-free inner loops. The inlined dynamic-program cost kernels in
+// internal/dp read these directly instead of paying a method (or closure)
+// call per candidate bucket — the construction hot path. The slices are
+// the table's own storage: callers must treat them as read-only.
+type Moments struct {
+	// P[t] is the prefix sum Σ_{i<t} A[i], t in [0, n].
+	P []float64
+	// CumP[t] = Σ_{u<t} P[u]; CumP2 and CumUP are the P² and u·P
+	// analogues. All have length n+2.
+	CumP, CumP2, CumUP []float64
+}
+
+// Moments returns the raw moment slices (see the Moments type).
+func (t *Table) Moments() Moments {
+	return Moments{P: t.P, CumP: t.cumP, CumP2: t.cumP2, CumUP: t.cumUP}
+}
+
 // WindowU2P returns Σ u²·P[u] over the inclusive window.
 func (t *Table) WindowU2P(lo, hi int) float64 {
 	t.checkWindow(lo, hi)
