@@ -9,8 +9,13 @@ package rangeagg
 // cmd/synbench prints the same tables with their values for inspection.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"rangeagg/internal/advisor"
@@ -18,9 +23,11 @@ import (
 	"rangeagg/internal/core"
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/dp"
+	"rangeagg/internal/engine"
 	"rangeagg/internal/experiments"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
+	"rangeagg/internal/serve"
 )
 
 // benchCfg keeps per-iteration work bounded: the paper's dataset with two
@@ -331,6 +338,128 @@ func BenchmarkWarmupVsImproved(b *testing.B) {
 			if _, _, err := core.OptA(tab, 4, core.Config{}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// serveBench builds a serving stack on a Zipf domain with one SAP1
+// synopsis, plus a fixed workload of 256 synopsis queries.
+func serveBench(b *testing.B) (*serve.Server, []serve.Query) {
+	b.Helper()
+	const n = 2048
+	counts, err := ZipfCounts(n, 1.8, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New("bench", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(counts); err != nil {
+		b.Fatal(err)
+	}
+	specs := []engine.SynopsisSpec{
+		{Name: "h", Metric: engine.Count, Options: build.Options{Method: build.SAP1, BudgetWords: 64}},
+	}
+	srv, err := serve.New(eng, specs, serve.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	rng := rand.New(rand.NewSource(9))
+	qs := make([]serve.Query, 256)
+	for i := range qs {
+		a := rng.Intn(n)
+		qs[i] = serve.Query{Synopsis: "h", A: a, B: a + rng.Intn(n-a)}
+	}
+	return srv, qs
+}
+
+// BenchmarkServeQuery contrasts 256 single Query calls with one
+// QueryBatch over the same 256 ranges — one snapshot load and one
+// synopsis lookup amortized over the batch. Each op answers 256 queries
+// in both cases, so ns/op compares directly.
+func BenchmarkServeQuery(b *testing.B) {
+	srv, qs := serveBench(b)
+	b.Run("single-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				if _, err := srv.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			results, _ := srv.QueryBatch(qs)
+			if results[0].Err != nil {
+				b.Fatal(results[0].Err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeHTTP measures the served throughput the issue targets:
+// answering 256 queries as 256 single /query requests versus one
+// /query/batch request. Batching amortizes the per-request HTTP and
+// JSON overhead, which dominates single-query serving cost.
+func BenchmarkServeHTTP(b *testing.B) {
+	srv, qs := serveBench(b)
+	ts := httptest.NewServer(serve.NewHandler(srv, serve.NewMetrics()))
+	b.Cleanup(ts.Close)
+	client := ts.Client()
+
+	urls := make([]string, len(qs))
+	for i, q := range qs {
+		urls[i] = fmt.Sprintf("%s/query?syn=h&a=%d&b=%d", ts.URL, q.A, q.B)
+	}
+	ranges := make([][2]int, len(qs))
+	for i, q := range qs {
+		ranges[i] = [2]int{q.A, q.B}
+	}
+	body, err := json.Marshal(map[string]any{"synopsis": "h", "ranges": ranges})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	do := func(b *testing.B, req *http.Request) {
+		b.Helper()
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.Run("single-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, u := range urls {
+				req, err := http.NewRequest(http.MethodGet, u, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				do(b, req)
+			}
+		}
+	})
+	b.Run("batch-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/query/batch", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			do(b, req)
 		}
 	})
 }

@@ -1,0 +1,163 @@
+// Command synserve serves range-aggregate queries over HTTP from
+// snapshot-swapped synopses: ingest flows into the engine, a debounced
+// background rebuild republishes the synopses, and queries always answer
+// from a consistent immutable snapshot without blocking on rebuilds.
+//
+// Usage:
+//
+//	synserve -data data.csv -syn h:OPT-A:32 -syn s:SAP1:40:SUM
+//	synserve -domain 1024 -addr 127.0.0.1:9736 -debounce 20ms
+//
+// Endpoints: /health /query /query/batch /ingest /load /rebuild /synopsis
+// /metrics (see internal/serve.NewHandler). SIGINT/SIGTERM drain in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/dataset"
+	"rangeagg/internal/engine"
+	"rangeagg/internal/serve"
+)
+
+type synList []string
+
+func (s *synList) String() string     { return strings.Join(*s, ",") }
+func (s *synList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var syns synList
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9736", "listen address")
+		dataPath   = flag.String("data", "", "distribution CSV to preload (optional)")
+		domain     = flag.Int("domain", 0, "attribute domain size (required without -data)")
+		debounce   = flag.Duration("debounce", 50*time.Millisecond, "quiet period before a rebuild")
+		maxLag     = flag.Duration("maxlag", 1*time.Second, "max snapshot staleness under sustained writes")
+		readTO     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTO    = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		shutdownTO = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Var(&syns, "syn", "synopsis spec name:METHOD:budgetWords[:COUNT|SUM] (repeatable)")
+	flag.Parse()
+
+	eng, err := newEngine(*dataPath, *domain)
+	if err != nil {
+		fatal(err)
+	}
+	specs, err := parseSpecs(syns)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(eng, specs, serve.Config{Debounce: *debounce, MaxLag: *maxLag})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:      serve.NewHandler(srv, serve.NewMetrics()),
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "synserve: listening on %s (domain %d, %d synopses)\n",
+		ln.Addr(), eng.Domain(), len(specs))
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "synserve: shutdown complete")
+}
+
+// newEngine builds the column either from a CSV distribution or empty over
+// an explicit domain.
+func newEngine(dataPath string, domain int) (*engine.Engine, error) {
+	if dataPath == "" {
+		if domain <= 0 {
+			return nil, fmt.Errorf("either -data or a positive -domain is required")
+		}
+		return engine.New("synserve", domain)
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New("synserve", d.N())
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Load(d.Counts); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// parseSpecs resolves -syn flags of the form name:METHOD:budget[:metric].
+func parseSpecs(syns []string) ([]engine.SynopsisSpec, error) {
+	specs := make([]engine.SynopsisSpec, 0, len(syns))
+	for _, s := range syns {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 && len(parts) != 4 {
+			return nil, fmt.Errorf("-syn %q: want name:METHOD:budgetWords[:COUNT|SUM]", s)
+		}
+		method, err := build.ParseMethod(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("-syn %q: %w", s, err)
+		}
+		budget, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("-syn %q: budget: %w", s, err)
+		}
+		metric := engine.Count
+		if len(parts) == 4 {
+			if metric, err = engine.ParseMetric(parts[3]); err != nil {
+				return nil, fmt.Errorf("-syn %q: %w", s, err)
+			}
+		}
+		specs = append(specs, engine.SynopsisSpec{
+			Name:    parts[0],
+			Metric:  metric,
+			Options: build.Options{Method: method, BudgetWords: budget},
+		})
+	}
+	return specs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "synserve:", err)
+	os.Exit(1)
+}

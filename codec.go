@@ -1,70 +1,22 @@
 package rangeagg
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 
+	"rangeagg/internal/codec"
 	"rangeagg/internal/grid"
-	"rangeagg/internal/histogram"
-	"rangeagg/internal/wavelet"
 )
 
-// envelope wraps a serialized synopsis with its family so ReadSynopsis can
-// dispatch.
-type envelope struct {
-	Family  string          `json:"family"` // "histogram" or "wavelet"
-	Payload json.RawMessage `json:"payload"`
-}
-
 // WriteSynopsis serializes any synopsis built by this package as JSON.
+// Foreign Synopsis implementations are rejected.
 func WriteSynopsis(w io.Writer, s Synopsis) error {
-	var payload bytes.Buffer
-	var family string
-	switch v := s.(type) {
-	case *histogram.Avg, *histogram.SAP0, *histogram.SAP1, *histogram.SAP2:
-		family = "histogram"
-		if err := histogram.WriteJSON(&payload, v.(histogram.Estimator)); err != nil {
-			return err
-		}
-	case *wavelet.DataSynopsis, *wavelet.PrefixSynopsis, *wavelet.AA2D:
-		family = "wavelet"
-		if err := wavelet.WriteJSON(&payload, v); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("rangeagg: synopsis type %T is not serializable", s)
-	}
-	return json.NewEncoder(w).Encode(envelope{Family: family, Payload: payload.Bytes()})
+	return codec.Write(w, s)
 }
 
 // ReadSynopsis deserializes a synopsis written by WriteSynopsis.
 func ReadSynopsis(r io.Reader) (Synopsis, error) {
-	var env envelope
-	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("rangeagg: decoding synopsis envelope: %w", err)
-	}
-	switch env.Family {
-	case "histogram":
-		est, err := histogram.ReadJSON(bytes.NewReader(env.Payload))
-		if err != nil {
-			return nil, err
-		}
-		return est, nil
-	case "wavelet":
-		v, err := wavelet.ReadJSON(bytes.NewReader(env.Payload))
-		if err != nil {
-			return nil, err
-		}
-		s, ok := v.(Synopsis)
-		if !ok {
-			return nil, fmt.Errorf("rangeagg: decoded wavelet %T is not a synopsis", v)
-		}
-		return s, nil
-	default:
-		return nil, fmt.Errorf("rangeagg: unknown synopsis family %q", env.Family)
-	}
+	return codec.Read(r)
 }
 
 // WriteSynopsis2D serializes a 2-D synopsis built by Build2D as JSON.

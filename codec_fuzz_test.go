@@ -1,0 +1,75 @@
+package rangeagg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSynopsis fuzzes the synopsis envelope codec: arbitrary input
+// must either be rejected with an error or decode to a synopsis that
+// round-trips — re-serializing and re-reading it reproduces the metadata
+// and the answers. No input may panic the codec.
+func FuzzReadSynopsis(f *testing.F) {
+	counts, err := ZipfCounts(25, 1.8, 400, 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, m := range []Method{Naive, EquiWidth, A0, SAP0, SAP1, SAP2, PointOpt, WaveTopBB, WaveRangeOpt, WaveAA2D} {
+		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSynopsis(&buf, syn); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, malformed := range []string{
+		``,
+		`{broken`,
+		`{"family":"nope","payload":{}}`,
+		`{"family":"histogram","payload":{"kind":"bad"}}`,
+		`{"family":"histogram","payload":{"kind":"avg","n":5,"starts":[0,9],"series":[[1,2]]}}`,
+		`{"family":"wavelet","payload":{"kind":"data","n":5,"pow":3,"coeffs":[{"i":99,"v":1}]}}`,
+		`{"family":"wavelet","payload":{"kind":"prefix","n":-2,"pow":4}}`,
+	} {
+		f.Add([]byte(malformed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		syn, err := ReadSynopsis(bytes.NewReader(data))
+		if err != nil {
+			return // clean rejection
+		}
+		if syn == nil {
+			t.Fatal("nil synopsis without error")
+		}
+		// Metadata access must be safe on anything that decoded.
+		name, n := syn.Name(), syn.N()
+		_ = syn.StorageWords()
+		if n <= 0 {
+			t.Fatalf("decoded synopsis %q has non-positive domain %d", name, n)
+		}
+		// Round trip: what decoded must serialize, and the copy must agree.
+		var buf bytes.Buffer
+		if err := WriteSynopsis(&buf, syn); err != nil {
+			t.Fatalf("decoded %q does not re-serialize: %v", name, err)
+		}
+		back, err := ReadSynopsis(&buf)
+		if err != nil {
+			t.Fatalf("re-serialized %q does not re-read: %v", name, err)
+		}
+		if back.Name() != name || back.N() != n {
+			t.Fatalf("round trip changed metadata: %s/%d vs %s/%d", back.Name(), back.N(), name, n)
+		}
+		if n > 1<<16 {
+			return // keep per-input work bounded
+		}
+		for _, q := range [][2]int{{0, 0}, {0, n - 1}, {n / 2, n - 1}} {
+			if g, w := back.Estimate(q[0], q[1]), syn.Estimate(q[0], q[1]); g != w && !(g != g && w != w) {
+				t.Fatalf("round trip changed Estimate(%d,%d): %g vs %g", q[0], q[1], g, w)
+			}
+		}
+	})
+}

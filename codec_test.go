@@ -2,6 +2,7 @@ package rangeagg
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -30,6 +31,73 @@ func TestSynopsisCodecRoundTrip(t *testing.T) {
 				t.Fatalf("%s: Estimate(%d,%d) = %g, want %g", m, q.A, q.B, g, w)
 			}
 		}
+	}
+}
+
+// TestWriteSynopsisFamilyDispatch pins the envelope family every
+// serializable synopsis lands in — one row per construction — plus the
+// non-serializable error path, guarding the interface-based dispatch in
+// internal/codec against regressions.
+func TestWriteSynopsisFamilyDispatch(t *testing.T) {
+	counts, err := ZipfCounts(25, 1.8, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		method Method
+		family string
+	}{
+		{Naive, "histogram"},
+		{EquiWidth, "histogram"},
+		{EquiDepth, "histogram"},
+		{MaxDiff, "histogram"},
+		{VOptimal, "histogram"},
+		{PointOpt, "histogram"},
+		{A0, "histogram"},
+		{SAP0, "histogram"},
+		{SAP1, "histogram"},
+		{SAP2, "histogram"},
+		{OptA, "histogram"},
+		{OptARounded, "histogram"},
+		{PrefixOpt, "histogram"},
+		{WaveTopBB, "wavelet"},
+		{WaveRangeOpt, "wavelet"},
+		{WaveAA2D, "wavelet"},
+	}
+	if len(cases) != methodCount {
+		t.Fatalf("table covers %d methods, package has %d", len(cases), methodCount)
+	}
+	for _, tc := range cases {
+		syn, err := Build(counts, Options{Method: tc.method, BudgetWords: 12, Seed: 1, Epsilon: 0.5})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.method, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSynopsis(&buf, syn); err != nil {
+			t.Fatalf("%s: %v", tc.method, err)
+		}
+		var env struct {
+			Family string `json:"family"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+			t.Fatalf("%s: envelope: %v", tc.method, err)
+		}
+		if env.Family != tc.family {
+			t.Errorf("%s: family %q, want %q", tc.method, env.Family, tc.family)
+		}
+		back, err := ReadSynopsis(&buf)
+		if err != nil {
+			t.Fatalf("%s: read back: %v", tc.method, err)
+		}
+		if back.N() != syn.N() {
+			t.Errorf("%s: round trip N %d, want %d", tc.method, back.N(), syn.N())
+		}
+	}
+	// The non-serializable path: a foreign implementation satisfies the
+	// Synopsis interface but has no wire form.
+	err = WriteSynopsis(&bytes.Buffer{}, fakeSynopsis{})
+	if err == nil || !strings.Contains(err.Error(), "not serializable") {
+		t.Errorf("foreign synopsis error = %v, want a not-serializable rejection", err)
 	}
 }
 

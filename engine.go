@@ -132,6 +132,20 @@ func (e *Engine) Approx(name string, a, b int) (float64, error) {
 	return e.inner.Approx(name, a, b)
 }
 
+// ApproxBatch answers a batch of range aggregates from one named synopsis.
+// The synopsis is resolved once for the whole batch and the evaluation
+// fans out over the shared worker pool, so large batches cost far less
+// than per-query calls; every answer comes from the same estimator even
+// if the synopsis is rebuilt concurrently. Ranges are clamped to the
+// domain.
+func (e *Engine) ApproxBatch(name string, queries []Range) ([]float64, error) {
+	qs := make([]sse.Range, len(queries))
+	for i, q := range queries {
+		qs[i] = sse.Range{A: q.A, B: q.B}
+	}
+	return e.inner.ApproxBatch(name, qs)
+}
+
 // Refresh rebuilds a registered synopsis from the current data.
 func (e *Engine) Refresh(name string) error {
 	_, err := e.inner.Refresh(name)

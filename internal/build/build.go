@@ -270,7 +270,7 @@ func buildCoarsened(counts []int64, opt Options) (Estimator, error) {
 	coarse := make([]int64, cells)
 	for i := 0; i < cells; i++ {
 		var s int64
-		for j := bound(i); j < bound(i + 1); j++ {
+		for j := bound(i); j < bound(i+1); j++ {
 			s += counts[j]
 		}
 		coarse[i] = s

@@ -48,13 +48,13 @@ func TestUnitsAccounting(t *testing.T) {
 		w, u int
 	}{
 		{Naive, 0, 1},
-		{OptA, 32, 16},   // 2 words per bucket
-		{A0, 12, 6},      // 2 words per bucket
-		{SAP0, 12, 4},    // 3 words per bucket
-		{SAP1, 15, 3},    // 5 words per bucket
-		{SAP2, 14, 2},    // 7 words per bucket
+		{OptA, 32, 16},    // 2 words per bucket
+		{A0, 12, 6},       // 2 words per bucket
+		{SAP0, 12, 4},     // 3 words per bucket
+		{SAP1, 15, 3},     // 5 words per bucket
+		{SAP2, 14, 2},     // 7 words per bucket
 		{WaveTopBB, 8, 4}, // 2 words per coefficient
-		{SAP1, 4, 1},     // never below one bucket
+		{SAP1, 4, 1},      // never below one bucket
 	}
 	for _, c := range cases {
 		if got := (Options{Method: c.m, BudgetWords: c.w}).Units(); got != c.u {

@@ -1,0 +1,77 @@
+// Package codec serializes synopses behind a family-tagged envelope so a
+// single Read call can restore any synopsis this module builds. It is the
+// wire form shared by the public facade (rangeagg.WriteSynopsis /
+// ReadSynopsis), the serving layer's synopsis-export endpoint, and the
+// synbuild/synquery tools.
+package codec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/wavelet"
+)
+
+// envelope wraps a serialized synopsis with its family so Read can
+// dispatch.
+type envelope struct {
+	Family  string          `json:"family"` // "histogram" or "wavelet"
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Write serializes any estimator built by this module as JSON. Estimators
+// with no serialization form (foreign implementations, composite 2-D
+// synopses) are rejected with an error.
+func Write(w io.Writer, s build.Estimator) error {
+	var payload bytes.Buffer
+	var family string
+	switch v := s.(type) {
+	case *wavelet.DataSynopsis, *wavelet.PrefixSynopsis, *wavelet.AA2D:
+		family = "wavelet"
+		if err := wavelet.WriteJSON(&payload, v); err != nil {
+			return err
+		}
+	case histogram.Estimator:
+		// One interface check covers the whole histogram family;
+		// histogram.Encode rejects members with no wire form.
+		family = "histogram"
+		if err := histogram.WriteJSON(&payload, v); err != nil {
+			return fmt.Errorf("rangeagg: synopsis type %T is not serializable: %w", s, err)
+		}
+	default:
+		return fmt.Errorf("rangeagg: synopsis type %T is not serializable", s)
+	}
+	return json.NewEncoder(w).Encode(envelope{Family: family, Payload: payload.Bytes()})
+}
+
+// Read deserializes a synopsis written by Write.
+func Read(r io.Reader) (build.Estimator, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("rangeagg: decoding synopsis envelope: %w", err)
+	}
+	switch env.Family {
+	case "histogram":
+		est, err := histogram.ReadJSON(bytes.NewReader(env.Payload))
+		if err != nil {
+			return nil, err
+		}
+		return est, nil
+	case "wavelet":
+		v, err := wavelet.ReadJSON(bytes.NewReader(env.Payload))
+		if err != nil {
+			return nil, err
+		}
+		s, ok := v.(build.Estimator)
+		if !ok {
+			return nil, fmt.Errorf("rangeagg: decoded wavelet %T is not a synopsis", v)
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("rangeagg: unknown synopsis family %q", env.Family)
+	}
+}

@@ -9,6 +9,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"rangeagg/internal/build"
@@ -35,6 +36,17 @@ func (m Metric) String() string {
 		return "SUM"
 	}
 	return "COUNT"
+}
+
+// ParseMetric resolves a metric from its name (case-insensitive).
+func ParseMetric(s string) (Metric, error) {
+	switch strings.ToUpper(s) {
+	case "COUNT", "":
+		return Count, nil
+	case "SUM":
+		return Sum, nil
+	}
+	return 0, fmt.Errorf("engine: unknown metric %q", s)
 }
 
 // Engine is a single-column store over the integer domain [0, domain).
@@ -154,6 +166,23 @@ func (e *Engine) Counts() []int64 {
 	out := make([]int64, len(e.counts))
 	copy(out, e.counts)
 	return out
+}
+
+// Version returns the data version, bumped on every mutation.
+func (e *Engine) Version() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// MetricCounts returns the per-value series a synopsis of the metric
+// summarizes (the raw distribution for Count, value×frequency for Sum)
+// together with the data version it was read at — the coherent snapshot a
+// serving layer builds from.
+func (e *Engine) MetricCounts(m Metric) ([]int64, int64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.metricCounts(m), e.version
 }
 
 // metricCounts derives the per-value series a synopsis of the metric
@@ -363,6 +392,39 @@ func (e *Engine) Approx(name string, a, b int) (float64, error) {
 		return 0, nil
 	}
 	return s.Est.Estimate(a, b), nil
+}
+
+// ApproxBatch answers a batch of range queries from one named synopsis,
+// resolving the synopsis and the maintenance policy once for the whole
+// batch and fanning the evaluation out over the shared worker pool. Every
+// answer comes from the same estimator, so the batch is internally
+// consistent even if a concurrent rebuild replaces the synopsis mid-way.
+func (e *Engine) ApproxBatch(name string, queries []sse.Range) ([]float64, error) {
+	s, err := e.Synopsis(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	threshold := e.autoRefresh
+	stale := e.version - s.Version
+	e.mu.RUnlock()
+	if threshold > 0 && stale > threshold {
+		if s, err = e.BuildSynopsis(s.Name, s.Metric, s.Options); err != nil {
+			return nil, fmt.Errorf("engine: auto-refresh of %q: %w", name, err)
+		}
+	}
+	est, domain := s.Est, e.domain
+	out := make([]float64, len(queries))
+	parallel.ForEachChunk(len(queries), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a, b, ok := clamp(queries[i].A, queries[i].B, domain)
+			if !ok {
+				continue
+			}
+			out[i] = est.Estimate(a, b)
+		}
+	})
+	return out, nil
 }
 
 // Refresh rebuilds a registered synopsis from the current data with its

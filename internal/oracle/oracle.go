@@ -1,0 +1,56 @@
+// Package oracle provides brute-force reference implementations of the
+// quantities every estimator and evaluator in this module approximates or
+// accelerates: range sums straight off the raw counts and sum-squared
+// error straight off its definition. The oracle is deliberately the
+// slowest, most obviously correct code in the repository; differential
+// tests check every fast path against it.
+package oracle
+
+// Estimator is the minimal answering surface the oracle can grade.
+type Estimator interface {
+	Estimate(a, b int) float64
+}
+
+// RangeSum computes s[a,b] = Σ counts[a..b] by direct summation, clamping
+// the range to the domain like the engine does (a fully-outside or
+// inverted range sums zero).
+func RangeSum(counts []int64, a, b int) int64 {
+	if a < 0 {
+		a = 0
+	}
+	if b >= len(counts) {
+		b = len(counts) - 1
+	}
+	var s int64
+	for i := a; i <= b; i++ {
+		s += counts[i]
+	}
+	return s
+}
+
+// SumSeries derives the SUM-metric series the engine summarizes:
+// value × frequency per attribute value.
+func SumSeries(counts []int64) []int64 {
+	out := make([]int64, len(counts))
+	for v, c := range counts {
+		out[v] = int64(v) * c
+	}
+	return out
+}
+
+// SSE computes the estimator's sum-squared error over all n(n+1)/2 ranges
+// of the distribution by definition: one Estimate call and one exact sum
+// per range, no decomposition lemmas, no prefix tables.
+func SSE(counts []int64, est Estimator) float64 {
+	n := len(counts)
+	var total float64
+	for a := 0; a < n; a++ {
+		var exact int64
+		for b := a; b < n; b++ {
+			exact += counts[b]
+			d := est.Estimate(a, b) - float64(exact)
+			total += d * d
+		}
+	}
+	return total
+}

@@ -132,3 +132,11 @@ func ForEach(n int, fn func(i int)) {
 		}
 	})
 }
+
+// Do runs heterogeneous tasks concurrently over the pool and returns when
+// all have completed — the fork/join form of ForEach for a fixed set of
+// different jobs (e.g. rebuilding a serving snapshot's prefix tables and
+// synopses together).
+func Do(fns ...func()) {
+	ForEach(len(fns), func(i int) { fns[i]() })
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rangeagg/internal/codec"
+	"rangeagg/internal/engine"
+)
+
+// NewHandler exposes a Server over HTTP/JSON:
+//
+//	GET  /health            liveness, data version, synopsis names
+//	GET  /query             one query: ?a=&b=[&syn=][&metric=COUNT|SUM]
+//	POST /query/batch       {"synopsis","metric","ranges":[[a,b],...]}
+//	POST /ingest            {"inserts":[{"value","count"}],"deletes":[...]}
+//	POST /load              {"counts":[...]}
+//	POST /rebuild           force a snapshot rebuild now
+//	GET  /synopsis          ?name= — synopsis in the synquery wire format
+//	GET  /metrics           per-endpoint request/error/latency counters
+//
+// Every response is JSON; errors are {"error": "..."} with an HTTP status.
+// All observations land in m (which may be shared with other handlers).
+func NewHandler(s *Server, m *Metrics) http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern, method string, fn func(w http.ResponseWriter, r *http.Request) (int, error)) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			status, err := 0, error(nil)
+			if r.Method != method {
+				status = http.StatusMethodNotAllowed
+				err = fmt.Errorf("method %s not allowed", r.Method)
+			} else {
+				status, err = fn(w, r)
+			}
+			if err != nil {
+				writeJSON(w, status, map[string]string{"error": err.Error()})
+			}
+			m.Observe(strings.TrimPrefix(pattern, "/"), time.Since(start), err != nil)
+		})
+	}
+
+	handle("/health", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		snap := s.Snapshot()
+		resp := map[string]any{
+			"status":   "ok",
+			"domain":   snap.Domain,
+			"records":  snap.Records,
+			"version":  snap.Version,
+			"rebuilds": s.Rebuilds(),
+			"synopses": snap.Names(),
+		}
+		if err := s.LastError(); err != nil {
+			resp["last_rebuild_error"] = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return 0, nil
+	})
+
+	handle("/query", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		q, err := queryFromURL(r)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		snap := s.Snapshot()
+		var value float64
+		if q.Synopsis == "" {
+			value = float64(snap.exact(q.Metric, q.A, q.B))
+		} else if value, err = snap.Approx(q.Synopsis, q.A, q.B); err != nil {
+			return http.StatusNotFound, err
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"value": value, "version": snap.Version})
+		return 0, nil
+	})
+
+	handle("/query/batch", http.MethodPost, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		var req struct {
+			Synopsis string   `json:"synopsis"`
+			Metric   string   `json:"metric"`
+			Ranges   [][2]int `json:"ranges"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return http.StatusBadRequest, fmt.Errorf("decoding batch request: %w", err)
+		}
+		metric, err := engine.ParseMetric(req.Metric)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		qs := make([]Query, len(req.Ranges))
+		for i, rg := range req.Ranges {
+			qs[i] = Query{Synopsis: req.Synopsis, Metric: metric, A: rg[0], B: rg[1]}
+		}
+		results, version := s.QueryBatch(qs)
+		values := make([]float64, len(results))
+		for i, res := range results {
+			if res.Err != nil {
+				return http.StatusNotFound, res.Err
+			}
+			values[i] = res.Value
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"values": values, "version": version})
+		return 0, nil
+	})
+
+	handle("/ingest", http.MethodPost, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		var req struct {
+			Inserts []struct {
+				Value int   `json:"value"`
+				Count int64 `json:"count"`
+			} `json:"inserts"`
+			Deletes []struct {
+				Value int   `json:"value"`
+				Count int64 `json:"count"`
+			} `json:"deletes"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return http.StatusBadRequest, fmt.Errorf("decoding ingest request: %w", err)
+		}
+		for _, in := range req.Inserts {
+			if err := s.Insert(in.Value, in.Count); err != nil {
+				return http.StatusBadRequest, err
+			}
+		}
+		for _, del := range req.Deletes {
+			if err := s.Delete(del.Value, del.Count); err != nil {
+				return http.StatusBadRequest, err
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		return 0, nil
+	})
+
+	handle("/load", http.MethodPost, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		var req struct {
+			Counts []int64 `json:"counts"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return http.StatusBadRequest, fmt.Errorf("decoding load request: %w", err)
+		}
+		if err := s.Load(req.Counts); err != nil {
+			return http.StatusBadRequest, err
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		return 0, nil
+	})
+
+	handle("/rebuild", http.MethodPost, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		if err := s.Rebuild(); err != nil {
+			return http.StatusInternalServerError, err
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"version": s.Snapshot().Version, "rebuilds": s.Rebuilds(),
+		})
+		return 0, nil
+	})
+
+	handle("/synopsis", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		syn, err := s.Snapshot().Synopsis(r.URL.Query().Get("name"))
+		if err != nil {
+			return http.StatusNotFound, err
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := codec.Write(w, syn.Est); err != nil {
+			return http.StatusInternalServerError, err
+		}
+		return 0, nil
+	})
+
+	handle("/metrics", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		writeJSON(w, http.StatusOK, m.Snapshot())
+		return 0, nil
+	})
+
+	return mux
+}
+
+func queryFromURL(r *http.Request) (Query, error) {
+	var q Query
+	v := r.URL.Query()
+	metric, err := engine.ParseMetric(v.Get("metric"))
+	if err != nil {
+		return q, err
+	}
+	a, err := strconv.Atoi(v.Get("a"))
+	if err != nil {
+		return q, fmt.Errorf("parameter a: %w", err)
+	}
+	b, err := strconv.Atoi(v.Get("b"))
+	if err != nil {
+		return q, fmt.Errorf("parameter b: %w", err)
+	}
+	return Query{Synopsis: v.Get("syn"), Metric: metric, A: a, B: b}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header write can only be I/O errors on a
+	// dead client; there is nothing useful to do with them.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rangeagg/internal/codec"
+	"rangeagg/internal/engine"
+)
+
+func newTestHandler(t *testing.T) (*Server, *Metrics, *httptest.Server) {
+	t.Helper()
+	eng, err := engine.New("http-test", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 64)
+	for i := range counts {
+		counts[i] = int64(i % 7)
+	}
+	if err := eng.Load(counts); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(eng, testSpecs(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	ts := httptest.NewServer(NewHandler(s, m))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, m, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHandlerHealthQueryBatch(t *testing.T) {
+	s, _, ts := newTestHandler(t)
+
+	health := getJSON(t, ts.URL+"/health", http.StatusOK)
+	if health["status"] != "ok" || health["domain"].(float64) != 64 {
+		t.Fatalf("health = %v", health)
+	}
+
+	// Exact single query.
+	q := getJSON(t, ts.URL+"/query?a=0&b=63", http.StatusOK)
+	if got, want := q["value"].(float64), float64(s.Snapshot().ExactCount(0, 63)); got != want {
+		t.Fatalf("exact query = %g, want %g", got, want)
+	}
+	// SUM metric and synopsis path.
+	getJSON(t, ts.URL+"/query?a=3&b=40&metric=SUM", http.StatusOK)
+	getJSON(t, ts.URL+"/query?a=3&b=40&syn=h", http.StatusOK)
+	// Errors.
+	getJSON(t, ts.URL+"/query?a=3&b=40&syn=nope", http.StatusNotFound)
+	getJSON(t, ts.URL+"/query?a=x&b=40", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/query?a=0&b=1&metric=MEDIAN", http.StatusBadRequest)
+
+	// Batch answers match singles and report one version.
+	ranges := [][2]int{{0, 5}, {10, 20}, {0, 63}, {-5, 100}}
+	batch := postJSON(t, ts.URL+"/query/batch",
+		map[string]any{"synopsis": "h", "ranges": ranges}, http.StatusOK)
+	values := batch["values"].([]any)
+	if len(values) != len(ranges) {
+		t.Fatalf("batch returned %d values for %d ranges", len(values), len(ranges))
+	}
+	for i, rg := range ranges {
+		single := getJSON(t, fmt.Sprintf("%s/query?a=%d&b=%d&syn=h", ts.URL, rg[0], rg[1]), http.StatusOK)
+		if values[i].(float64) != single["value"].(float64) {
+			t.Fatalf("range %v: batch %v, single %v", rg, values[i], single["value"])
+		}
+	}
+	postJSON(t, ts.URL+"/query/batch", map[string]any{"synopsis": "nope", "ranges": ranges}, http.StatusNotFound)
+	postJSON(t, ts.URL+"/query/batch", map[string]any{"metric": "MEDIAN", "ranges": ranges}, http.StatusBadRequest)
+}
+
+func TestHandlerIngestLoadRebuild(t *testing.T) {
+	s, _, ts := newTestHandler(t)
+	version := s.Snapshot().Version
+
+	postJSON(t, ts.URL+"/ingest", map[string]any{
+		"inserts": []map[string]any{{"value": 3, "count": 10}},
+		"deletes": []map[string]any{{"value": 3, "count": 4}},
+	}, http.StatusOK)
+	postJSON(t, ts.URL+"/ingest", map[string]any{
+		"inserts": []map[string]any{{"value": -1, "count": 10}},
+	}, http.StatusBadRequest)
+
+	counts := make([]int64, 64)
+	counts[5] = 99
+	postJSON(t, ts.URL+"/load", map[string]any{"counts": counts}, http.StatusOK)
+	postJSON(t, ts.URL+"/load", map[string]any{"counts": []int64{1}}, http.StatusBadRequest)
+
+	reb := postJSON(t, ts.URL+"/rebuild", nil, http.StatusOK)
+	if int64(reb["version"].(float64)) <= version {
+		t.Fatalf("rebuild did not advance the version: %v", reb)
+	}
+	// Load accumulates: value 5 had count 5 (5 % 7) before the bulk load.
+	q := getJSON(t, ts.URL+"/query?a=5&b=5", http.StatusOK)
+	if q["value"].(float64) != 104 {
+		t.Fatalf("loaded data not served: %v", q)
+	}
+}
+
+func TestHandlerSynopsisExportRoundTrips(t *testing.T) {
+	s, _, ts := newTestHandler(t)
+	resp, err := http.Get(ts.URL + "/synopsis?name=h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	est, err := codec.Read(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	want, _ := snap.Approx("h", 3, 40)
+	if got := est.Estimate(3, 40); got != want {
+		t.Fatalf("exported synopsis answers %g, server %g", got, want)
+	}
+	getJSON(t, ts.URL+"/synopsis?name=nope", http.StatusNotFound)
+}
+
+func TestHandlerMetricsAndMethodChecks(t *testing.T) {
+	_, _, ts := newTestHandler(t)
+	getJSON(t, ts.URL+"/health", http.StatusOK)
+	getJSON(t, ts.URL+"/query?a=0&b=1", http.StatusOK)
+	getJSON(t, ts.URL+"/query?a=x&b=1", http.StatusBadRequest)
+	// Wrong method is rejected and counted as an error.
+	resp, err := http.Post(ts.URL+"/health", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /health status %d", resp.StatusCode)
+	}
+
+	stats := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	query := stats["query"].(map[string]any)
+	if query["requests"].(float64) != 2 || query["errors"].(float64) != 1 {
+		t.Fatalf("query stats = %v", query)
+	}
+	health := stats["health"].(map[string]any)
+	if health["requests"].(float64) != 2 || health["errors"].(float64) != 1 {
+		t.Fatalf("health stats = %v", health)
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EndpointStats aggregates one endpoint's traffic.
+type EndpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	nanos    atomic.Int64
+	maxNanos atomic.Int64
+}
+
+func (e *EndpointStats) observe(d time.Duration, failed bool) {
+	e.requests.Add(1)
+	if failed {
+		e.errors.Add(1)
+	}
+	n := d.Nanoseconds()
+	e.nanos.Add(n)
+	for {
+		cur := e.maxNanos.Load()
+		if n <= cur || e.maxNanos.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// EndpointSnapshot is the exported view of one endpoint's stats.
+type EndpointSnapshot struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// Metrics tracks per-endpoint request counts, error counts, and latency.
+// It is safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*EndpointStats
+}
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*EndpointStats)}
+}
+
+func (m *Metrics) endpoint(name string) *EndpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.endpoints[name]
+	if !ok {
+		e = &EndpointStats{}
+		m.endpoints[name] = e
+	}
+	return e
+}
+
+// Observe records one request against an endpoint.
+func (m *Metrics) Observe(endpoint string, d time.Duration, failed bool) {
+	m.endpoint(endpoint).observe(d, failed)
+}
+
+// Snapshot exports every endpoint's current stats.
+func (m *Metrics) Snapshot() map[string]EndpointSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]EndpointSnapshot, len(m.endpoints))
+	for name, e := range m.endpoints {
+		req := e.requests.Load()
+		s := EndpointSnapshot{
+			Requests: req,
+			Errors:   e.errors.Load(),
+			MaxMs:    float64(e.maxNanos.Load()) / 1e6,
+		}
+		if req > 0 {
+			s.MeanMs = float64(e.nanos.Load()) / float64(req) / 1e6
+		}
+		out[name] = s
+	}
+	return out
+}

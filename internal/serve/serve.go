@@ -1,0 +1,351 @@
+// Package serve is the concurrent query-serving layer in front of the
+// engine: it publishes each column's exact prefix tables and synopses as
+// one immutable Snapshot behind an atomic pointer, answers single and
+// batched range-aggregate queries from whatever snapshot is current, and
+// rebuilds snapshots off the hot path behind a mutation-driven debouncer.
+// Queries never take the engine lock and never block on a rebuild; a
+// rebuild never publishes partial state (old snapshot or new, never a
+// mix).
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/engine"
+	"rangeagg/internal/parallel"
+	"rangeagg/internal/prefix"
+)
+
+// Config tunes the server; zero values select the defaults.
+type Config struct {
+	// Debounce is the quiet period after a mutation before the automatic
+	// rebuild fires (default 50ms). Further mutations inside the window
+	// push the rebuild back, up to MaxLag.
+	Debounce time.Duration
+	// MaxLag caps how stale the published snapshot may grow while
+	// mutations keep arriving (default 20×Debounce).
+	MaxLag time.Duration
+	// FanOut is the smallest batch QueryBatch spreads over the worker
+	// pool; smaller batches evaluate inline (default 128).
+	FanOut int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Debounce <= 0 {
+		c.Debounce = 50 * time.Millisecond
+	}
+	if c.MaxLag <= 0 {
+		c.MaxLag = 20 * c.Debounce
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = 128
+	}
+	return c
+}
+
+// Server publishes snapshots of one engine column and serves queries from
+// them. It is safe for concurrent use.
+type Server struct {
+	eng *engine.Engine
+	cfg Config
+
+	snap atomic.Pointer[Snapshot]
+
+	// rebuildMu serializes snapshot construction; queries never take it.
+	rebuildMu sync.Mutex
+	specMu    sync.RWMutex
+	specs     []engine.SynopsisSpec
+
+	rebuilds atomic.Int64
+	lastErr  atomic.Pointer[rebuildError]
+
+	dirty     chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+type rebuildError struct{ err error }
+
+// Query is one range-aggregate request. A named Synopsis answers
+// approximately from the snapshot's estimator; an empty name answers
+// exactly (per Metric) from the snapshot's prefix tables.
+type Query struct {
+	Synopsis string
+	Metric   engine.Metric
+	A, B     int
+}
+
+// Result is one answer. Err is set per query (e.g. unknown synopsis
+// name); the batch as a whole never fails.
+type Result struct {
+	Value float64
+	Err   error
+}
+
+// New builds the initial snapshot synchronously (so a successfully
+// constructed Server always serves) and starts the rebuild debouncer.
+// Callers must Close the server to stop it.
+func New(eng *engine.Engine, specs []engine.SynopsisSpec, cfg Config) (*Server, error) {
+	s := &Server{
+		eng:   eng,
+		cfg:   cfg.withDefaults(),
+		specs: append([]engine.SynopsisSpec(nil), specs...),
+		dirty: make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if err := s.Rebuild(); err != nil {
+		return nil, err
+	}
+	go s.debounceLoop()
+	return s, nil
+}
+
+// Close stops the debouncer. The last published snapshot keeps serving.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Snapshot returns the currently published snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Rebuilds returns the number of snapshots published so far.
+func (s *Server) Rebuilds() int64 { return s.rebuilds.Load() }
+
+// LastError reports the most recent rebuild failure, or nil. A failed
+// rebuild keeps the previous snapshot serving.
+func (s *Server) LastError() error {
+	if p := s.lastErr.Load(); p != nil {
+		return p.err
+	}
+	return nil
+}
+
+// Insert forwards to the engine and schedules a debounced rebuild.
+func (s *Server) Insert(value int, occurrences int64) error {
+	if err := s.eng.Insert(value, occurrences); err != nil {
+		return err
+	}
+	s.MarkDirty()
+	return nil
+}
+
+// Delete forwards to the engine and schedules a debounced rebuild.
+func (s *Server) Delete(value int, occurrences int64) error {
+	if err := s.eng.Delete(value, occurrences); err != nil {
+		return err
+	}
+	s.MarkDirty()
+	return nil
+}
+
+// Load forwards a bulk load to the engine and schedules a debounced
+// rebuild.
+func (s *Server) Load(counts []int64) error {
+	if err := s.eng.Load(counts); err != nil {
+		return err
+	}
+	s.MarkDirty()
+	return nil
+}
+
+// MarkDirty tells the debouncer the engine data changed. Callers that
+// mutate the engine directly (not through the server's ingest wrappers)
+// use it to keep the served snapshot converging.
+func (s *Server) MarkDirty() {
+	select {
+	case s.dirty <- struct{}{}:
+	default: // a rebuild is already pending
+	}
+}
+
+// AddSynopsis registers a synopsis spec and publishes a snapshot that
+// includes it.
+func (s *Server) AddSynopsis(spec engine.SynopsisSpec) error {
+	s.specMu.Lock()
+	for _, sp := range s.specs {
+		if sp.Name == spec.Name {
+			s.specMu.Unlock()
+			return fmt.Errorf("serve: synopsis %q already registered", spec.Name)
+		}
+	}
+	s.specs = append(s.specs, spec)
+	s.specMu.Unlock()
+	if err := s.Rebuild(); err != nil {
+		// Roll the bad spec back so later rebuilds keep succeeding.
+		s.specMu.Lock()
+		for i, sp := range s.specs {
+			if sp.Name == spec.Name {
+				s.specs = append(s.specs[:i], s.specs[i+1:]...)
+				break
+			}
+		}
+		s.specMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// DropSynopsis removes a synopsis spec and publishes a snapshot without
+// it, reporting whether it existed.
+func (s *Server) DropSynopsis(name string) bool {
+	s.specMu.Lock()
+	found := false
+	for i, sp := range s.specs {
+		if sp.Name == name {
+			s.specs = append(s.specs[:i], s.specs[i+1:]...)
+			found = true
+			break
+		}
+	}
+	s.specMu.Unlock()
+	if found {
+		// Dropping a spec cannot fail construction of the others.
+		_ = s.Rebuild()
+	}
+	return found
+}
+
+// Query answers one request from the current snapshot.
+func (s *Server) Query(q Query) (float64, error) {
+	snap := s.snap.Load()
+	if q.Synopsis == "" {
+		return float64(snap.exact(q.Metric, q.A, q.B)), nil
+	}
+	return snap.Approx(q.Synopsis, q.A, q.B)
+}
+
+// QueryBatch answers a batch of requests from one snapshot grab: every
+// answer in the batch reflects the same data version (returned alongside
+// the results), so concurrent rebuilds can never tear a batch. Large
+// batches fan out over the shared worker pool.
+func (s *Server) QueryBatch(qs []Query) ([]Result, int64) {
+	snap := s.snap.Load()
+	out := make([]Result, len(qs))
+	answer := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := qs[i]
+			if q.Synopsis == "" {
+				out[i].Value = float64(snap.exact(q.Metric, q.A, q.B))
+				continue
+			}
+			out[i].Value, out[i].Err = snap.Approx(q.Synopsis, q.A, q.B)
+		}
+	}
+	if len(qs) >= s.cfg.FanOut {
+		parallel.ForEachChunk(len(qs), 64, answer)
+	} else {
+		answer(0, len(qs))
+	}
+	return out, snap.Version
+}
+
+// Rebuild constructs a fresh snapshot from the engine's current data —
+// prefix tables and every registered synopsis, built concurrently over
+// the worker pool — and atomically swaps it in. On failure the previous
+// snapshot keeps serving and the error is retained for LastError.
+func (s *Server) Rebuild() error {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+
+	s.specMu.RLock()
+	specs := append([]engine.SynopsisSpec(nil), s.specs...)
+	s.specMu.RUnlock()
+
+	// One locked read of the engine; the SUM series is derived locally so
+	// both metrics come from the same version.
+	counts, version := s.eng.MetricCounts(engine.Count)
+	sums := make([]int64, len(counts))
+	var records int64
+	for v, c := range counts {
+		sums[v] = int64(v) * c
+		records += c
+	}
+
+	snap := &Snapshot{
+		Version: version,
+		Domain:  len(counts),
+		Records: records,
+		syns:    make(map[string]*Synopsis, len(specs)),
+	}
+	ests := make([]build.Estimator, len(specs))
+	errs := make([]error, len(specs))
+	tasks := []func(){
+		func() { snap.count = prefix.NewTable(counts) },
+		func() { snap.sum = prefix.NewTable(sums) },
+	}
+	for i := range specs {
+		i := i
+		tasks = append(tasks, func() {
+			series := counts
+			if specs[i].Metric == engine.Sum {
+				series = sums
+			}
+			ests[i], errs[i] = build.Build(series, specs[i].Options)
+		})
+	}
+	parallel.Do(tasks...)
+	for i, err := range errs {
+		if err != nil {
+			err = fmt.Errorf("serve: building synopsis %q: %w", specs[i].Name, err)
+			s.lastErr.Store(&rebuildError{err: err})
+			return err
+		}
+	}
+	for i, sp := range specs {
+		snap.syns[sp.Name] = &Synopsis{Name: sp.Name, Metric: sp.Metric, Options: sp.Options, Est: ests[i]}
+	}
+	s.snap.Store(snap)
+	s.rebuilds.Add(1)
+	s.lastErr.Store(&rebuildError{})
+	return nil
+}
+
+// debounceLoop turns MarkDirty signals into background rebuilds: it waits
+// for a quiet period after the last mutation before rebuilding, but never
+// lets the snapshot lag more than MaxLag behind a mutation.
+func (s *Server) debounceLoop() {
+	defer close(s.done)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.dirty:
+		}
+		deadline := time.Now().Add(s.cfg.MaxLag)
+		timer.Reset(s.cfg.Debounce)
+	quiet:
+		for {
+			select {
+			case <-s.stop:
+				timer.Stop()
+				return
+			case <-s.dirty:
+				d := s.cfg.Debounce
+				if rem := time.Until(deadline); rem < d {
+					d = rem
+				}
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(d)
+			case <-timer.C:
+				break quiet
+			}
+		}
+		_ = s.Rebuild() // failure keeps the old snapshot; LastError reports it
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/engine"
+	"rangeagg/internal/prefix"
+)
+
+// Synopsis is one published estimator inside a snapshot.
+type Synopsis struct {
+	// Name is the registration name.
+	Name string
+	// Metric the synopsis answers.
+	Metric engine.Metric
+	// Options used to build it.
+	Options build.Options
+	// Est is the immutable estimator.
+	Est build.Estimator
+}
+
+// Snapshot is one immutable, internally consistent view of a column: the
+// exact prefix tables and every published synopsis, all derived from the
+// same data version. Queries read a snapshot through an atomic pointer and
+// never see state from two versions at once; rebuilds construct a fresh
+// snapshot off the hot path and swap it in whole.
+type Snapshot struct {
+	// Version is the engine data version the snapshot was built from.
+	Version int64
+	// Domain is the attribute domain size.
+	Domain int
+	// Records is the total number of records at Version.
+	Records int64
+
+	count *prefix.Table // exact COUNT path
+	sum   *prefix.Table // exact SUM path
+	syns  map[string]*Synopsis
+}
+
+// ExactCount answers COUNT(*) WHERE a ≤ attr ≤ b from the snapshot. The
+// range is clamped to the domain; a fully-outside range counts zero.
+func (s *Snapshot) ExactCount(a, b int) int64 { return s.exact(engine.Count, a, b) }
+
+// ExactSum answers SUM(attr) WHERE a ≤ attr ≤ b from the snapshot.
+func (s *Snapshot) ExactSum(a, b int) int64 { return s.exact(engine.Sum, a, b) }
+
+func (s *Snapshot) exact(m engine.Metric, a, b int) int64 {
+	a, b, ok := clamp(a, b, s.Domain)
+	if !ok {
+		return 0
+	}
+	if m == engine.Sum {
+		return s.sum.Sum(a, b)
+	}
+	return s.count.Sum(a, b)
+}
+
+// Approx answers a range aggregate from a named synopsis in the snapshot;
+// the range is clamped to the domain.
+func (s *Snapshot) Approx(name string, a, b int) (float64, error) {
+	syn, ok := s.syns[name]
+	if !ok {
+		return 0, fmt.Errorf("serve: no synopsis named %q", name)
+	}
+	a, b, ok2 := clamp(a, b, s.Domain)
+	if !ok2 {
+		return 0, nil
+	}
+	return syn.Est.Estimate(a, b), nil
+}
+
+// Synopsis returns a published synopsis by name.
+func (s *Snapshot) Synopsis(name string) (*Synopsis, error) {
+	syn, ok := s.syns[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no synopsis named %q", name)
+	}
+	return syn, nil
+}
+
+// Names lists the published synopsis names, sorted.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.syns))
+	for n := range s.syns {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clamp(a, b, domain int) (int, int, bool) {
+	if a < 0 {
+		a = 0
+	}
+	if b >= domain {
+		b = domain - 1
+	}
+	if a > b {
+		return 0, 0, false
+	}
+	return a, b, true
+}

@@ -1,0 +1,117 @@
+// Command coverfloor enforces a minimum statement-coverage percentage on
+// selected packages, reading a Go cover profile (as written by
+// go test -coverprofile, any mode). Usage:
+//
+//	go test -coverprofile=cover.out -coverpkg=./... ./...
+//	go run ./scripts/coverfloor -profile cover.out -floor 70 \
+//	    rangeagg/internal/serve rangeagg/internal/oracle rangeagg/internal/codec
+//
+// Each argument names one package import path; the tool prints the
+// per-package statement coverage and exits non-zero if any named
+// package is below the floor or absent from the profile.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profile := flag.String("profile", "cover.out", "cover profile to read")
+	floor := flag.Float64("floor", 70, "minimum percent of statements covered per package")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "coverfloor: no packages named")
+		os.Exit(2)
+	}
+
+	total, covered, err := readProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverfloor: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range flag.Args() {
+		tot, cov := total[pkg], covered[pkg]
+		if tot == 0 {
+			fmt.Printf("coverfloor: %-32s no statements in profile\n", pkg)
+			failed = true
+			continue
+		}
+		pct := 100 * float64(cov) / float64(tot)
+		status := "ok"
+		if pct < *floor {
+			status = fmt.Sprintf("BELOW FLOOR %.0f%%", *floor)
+			failed = true
+		}
+		fmt.Printf("coverfloor: %-32s %6.1f%% (%d/%d statements) %s\n", pkg, pct, cov, tot, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readProfile aggregates a cover profile into per-package statement
+// totals. Profile lines have the form
+//
+//	name.go:line.col,line.col numStmts hitCount
+//
+// and a block may appear once per test binary that executed it, so
+// statements are deduplicated by block position before counting.
+func readProfile(name string) (total, covered map[string]int, err error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	type block struct{ stmts, hits int }
+	blocks := make(map[string]block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, nil, fmt.Errorf("malformed hit count in %q", line)
+		}
+		b := blocks[fields[0]]
+		b.stmts = stmts
+		if hits > 0 {
+			b.hits = 1
+		}
+		blocks[fields[0]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	total = make(map[string]int)
+	covered = make(map[string]int)
+	for pos, b := range blocks {
+		file := pos[:strings.Index(pos, ":")]
+		pkg := path.Dir(file)
+		total[pkg] += b.stmts
+		if b.hits > 0 {
+			covered[pkg] += b.stmts
+		}
+	}
+	return total, covered, nil
+}
