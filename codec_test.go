@@ -64,8 +64,8 @@ func TestWriteSynopsisFamilyDispatch(t *testing.T) {
 		{WaveRangeOpt, "wavelet"},
 		{WaveAA2D, "wavelet"},
 	}
-	if len(cases) != methodCount {
-		t.Fatalf("table covers %d methods, package has %d", len(cases), methodCount)
+	if len(cases) != len(Methods()) {
+		t.Fatalf("table covers %d methods, package has %d", len(cases), len(Methods()))
 	}
 	for _, tc := range cases {
 		syn, err := Build(counts, Options{Method: tc.method, BudgetWords: 12, Seed: 1, Epsilon: 0.5})

@@ -70,8 +70,12 @@ func (e *Engine) ExactSum(a, b int) int64 { return e.inner.ExactSum(a, b) }
 // BuildSynopsis constructs and registers a synopsis under the given name,
 // replacing any existing one.
 func (e *Engine) BuildSynopsis(name string, metric Metric, opt Options) error {
-	_, err := e.inner.BuildSynopsis(name, engine.Metric(metric), build.Options{
-		Method:      opt.Method.internal(),
+	im, err := opt.Method.resolve()
+	if err != nil {
+		return err
+	}
+	_, err = e.inner.BuildSynopsis(name, engine.Metric(metric), build.Options{
+		Method:      im,
 		BudgetWords: opt.BudgetWords,
 		Reopt:       opt.Reopt,
 		Seed:        opt.Seed,
@@ -109,6 +113,9 @@ type SynopsisInfo struct {
 	StorageWords int
 	// Stale counts data mutations since the synopsis was built.
 	Stale int64
+	// Capabilities are the method's registered capability flags, e.g.
+	// "mergeable", "serializable".
+	Capabilities []string
 }
 
 // Describe reports metadata for a registered synopsis.
@@ -123,7 +130,20 @@ func (e *Engine) Describe(name string) (SynopsisInfo, error) {
 		Metric:       Metric(s.Metric),
 		StorageWords: s.Est.StorageWords(),
 		Stale:        e.inner.Stale(s),
+		Capabilities: Method(s.Options.Method).Capabilities(),
 	}, nil
+}
+
+// MergeFrom absorbs a shard engine built over the same domain: the
+// shard's records are added to this engine's distribution and its named
+// synopsis is merged into this engine's (adopted if absent), so exact
+// queries and the merged synopsis both cover the union of the two record
+// sets afterwards, and the synopsis answers every range with exactly the
+// sum of the shards' answers. The method must have the "mergeable"
+// capability — the average-representation histogram family.
+func (e *Engine) MergeFrom(other *Engine, name string) error {
+	_, err := e.inner.MergeFrom(other.inner, name)
+	return err
 }
 
 // Approx answers a range aggregate from a named synopsis; the range is

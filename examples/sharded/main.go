@@ -1,8 +1,10 @@
-// Sharded example: each shard of a distributed table summarizes its own
-// records; the coordinator merges the shard synopses without touching raw
-// data. Merged answers are *exactly* the sum of the shard answers (both
-// estimators are linear in their stored values), so accuracy is the same
-// as if each shard were queried individually — at one round trip.
+// Sharded example: each shard of a distributed table runs its own engine
+// and summarizes its own records; the coordinator engine absorbs the
+// shards with Engine.MergeFrom — the capability-gated shard-merge path —
+// without ever re-scanning raw data at merge time. Merged answers are
+// *exactly* the sum of the shard answers (both estimators are linear in
+// their stored values), so accuracy is the same as if each shard were
+// queried individually — at one round trip.
 package main
 
 import (
@@ -17,78 +19,88 @@ func main() {
 	const shards = 4
 
 	// Each shard holds a different slice of the workload: different skew,
-	// different volume.
-	shardCounts := make([][]int64, shards)
-	globalCounts := make([]int64, domain)
-	for s := range shardCounts {
-		c, err := rangeagg.ZipfCounts(domain, 0.8+0.3*float64(s), float64(500*(s+1)), int64(s+1))
+	// different volume. Every shard engine builds the same named synopsis
+	// locally; "mergeable" is among A0's registered capabilities, which is
+	// what entitles it to the MergeFrom path below.
+	coordinator, err := rangeagg.NewEngine("coordinator", domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shardEngines := make([]*rangeagg.Engine, shards)
+	for s := range shardEngines {
+		counts, err := rangeagg.ZipfCounts(domain, 0.8+0.3*float64(s), float64(500*(s+1)), int64(s+1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		shardCounts[s] = c
-		for i, v := range c {
-			globalCounts[i] += v
+		eng, err := rangeagg.NewEngine(fmt.Sprintf("shard-%d", s), domain)
+		if err != nil {
+			log.Fatal(err)
 		}
-	}
-
-	// Every shard builds its own A0 synopsis locally.
-	locals := make([]rangeagg.Synopsis, shards)
-	for s := range locals {
-		syn, err := rangeagg.Build(shardCounts[s], rangeagg.Options{
+		if err := eng.Load(counts); err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.BuildSynopsis("traffic", rangeagg.Count, rangeagg.Options{
 			Method: rangeagg.A0, BudgetWords: 16, Seed: 1,
-		})
+		}); err != nil {
+			log.Fatal(err)
+		}
+		info, err := eng.Describe("traffic")
 		if err != nil {
 			log.Fatal(err)
 		}
-		locals[s] = syn
-		fmt.Printf("shard %d: %s, %d words over %d records\n",
-			s, syn.Name(), syn.StorageWords(), sum(shardCounts[s]))
+		fmt.Printf("shard %d: %s, %d words over %d records (caps: %v)\n",
+			s, info.Method, info.StorageWords, eng.Records(), info.Capabilities)
+		shardEngines[s] = eng
 	}
 
-	// The coordinator merges them pairwise.
-	merged := locals[0]
-	for s := 1; s < shards; s++ {
-		var err error
-		merged, err = rangeagg.MergeSynopses(merged, locals[s])
-		if err != nil {
+	// The coordinator absorbs the shards one by one: the first MergeFrom
+	// adopts the shard synopsis, later ones merge exactly.
+	for _, eng := range shardEngines {
+		if err := coordinator.MergeFrom(eng, "traffic"); err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("\nmerged synopsis: %d words (%d buckets worth)\n",
-		merged.StorageWords(), merged.StorageWords()/2)
+	info, err := coordinator.Describe("traffic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmerged synopsis: %d words (%d buckets worth) over %d records\n",
+		info.StorageWords, info.StorageWords/2, coordinator.Records())
 
-	// Global queries answered from the merged synopsis vs global truth and
-	// vs the sum of shard answers (must match the merged answer exactly).
+	// Global queries answered from the merged synopsis vs global truth
+	// (the coordinator also absorbed the shard counts, so its exact path
+	// covers the union) and vs the sum of shard answers — which the merged
+	// answer must match exactly.
 	for _, q := range []rangeagg.Range{{A: 0, B: 127}, {A: 3, B: 20}, {A: 60, B: 100}} {
-		var exact int64
-		for i := q.A; i <= q.B; i++ {
-			exact += globalCounts[i]
-		}
 		var shardSum float64
-		for _, l := range locals {
-			shardSum += l.Estimate(q.A, q.B)
+		for _, eng := range shardEngines {
+			v, err := eng.Approx("traffic", q.A, q.B)
+			if err != nil {
+				log.Fatal(err)
+			}
+			shardSum += v
 		}
-		got := merged.Estimate(q.A, q.B)
+		got, err := coordinator.Approx("traffic", q.A, q.B)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("s[%3d,%3d]: merged %10.1f   Σ shards %10.1f   exact %8d\n",
-			q.A, q.B, got, shardSum, exact)
+			q.A, q.B, got, shardSum, coordinator.ExactCount(q.A, q.B))
 	}
 
 	// Quality against a synopsis built centrally on the global data with
 	// the same total budget.
+	globalCounts := coordinator.Counts()
 	central, err := rangeagg.Build(globalCounts, rangeagg.Options{
-		Method: rangeagg.A0, BudgetWords: merged.StorageWords(), Seed: 1,
+		Method: rangeagg.A0, BudgetWords: info.StorageWords, Seed: 1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nSSE over all ranges: merged %.4g, centrally built (same words) %.4g\n",
-		rangeagg.SSE(globalCounts, merged), rangeagg.SSE(globalCounts, central))
-}
-
-func sum(c []int64) int64 {
-	var t int64
-	for _, v := range c {
-		t += v
+	mergedSSE, err := coordinator.SynopsisSSE("traffic")
+	if err != nil {
+		log.Fatal(err)
 	}
-	return t
+	fmt.Printf("\nSSE over all ranges: merged %.4g, centrally built (same words) %.4g\n",
+		mergedSSE, rangeagg.SSE(globalCounts, central))
 }

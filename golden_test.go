@@ -1,0 +1,58 @@
+package rangeagg
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden wire-encoding files")
+
+// TestGoldenWireEncoding pins every method's built synopsis and wire
+// encoding bit-for-bit against committed golden files: the construction is
+// deterministic, so any drift in boundaries, stored values, or the codec's
+// envelope shows up as a byte diff here. The goldens were generated before
+// the method-registry refactor; the test proves registry dispatch produces
+// output identical to the original per-method switches. Regenerate with
+//
+//	go test -run TestGoldenWireEncoding -update .
+func TestGoldenWireEncoding(t *testing.T) {
+	counts, err := ZipfCounts(64, 1.8, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods() {
+		t.Run(m.String(), func(t *testing.T) {
+			syn, err := Build(counts, Options{Method: m, BudgetWords: 24, Seed: 7, Epsilon: 0.5})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := WriteSynopsis(&buf, syn); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			name := strings.ToLower(strings.ReplaceAll(m.String(), "-", "_")) + ".json"
+			path := filepath.Join("testdata", "golden", name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("wire encoding drifted from golden %s:\n got: %s\nwant: %s",
+					path, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/method"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/sse"
@@ -37,11 +38,17 @@ type Candidate struct {
 type Config struct {
 	// BudgetWords is the storage budget each candidate gets.
 	BudgetWords int
-	// Methods restricts the candidate set; nil means every method except
-	// the exact OPT-A family when the instance exceeds ExactLimit.
+	// Methods restricts the candidate set; nil means every registered
+	// method except pseudo-polynomial ones when the instance exceeds
+	// ExactLimit.
 	Methods []build.Method
-	// ExactLimit caps the domain size for which the pseudo-polynomial
-	// OPT-A is attempted (0 = 512).
+	// Require keeps only candidates whose registered capabilities include
+	// every flag in the set — e.g. method.Serializable when the chosen
+	// synopsis must persist, or method.Mergeable for a sharded deployment.
+	// Zero requires nothing.
+	Require method.Caps
+	// ExactLimit caps the domain size for which pseudo-polynomial methods
+	// (the exact OPT-A dynamic program) are attempted (0 = 512).
 	ExactLimit int
 	// Seed for randomized constructions.
 	Seed int64
@@ -65,14 +72,29 @@ func Recommend(counts []int64, queries []sse.Range, cfg Config) ([]Candidate, er
 	if exactLimit <= 0 {
 		exactLimit = 512
 	}
-	methods := cfg.Methods
-	if methods == nil {
-		for _, m := range build.Methods() {
-			if (m == build.OptA || m == build.OptARounded) && len(counts) > exactLimit {
-				continue
-			}
-			methods = append(methods, m)
+	candidates := cfg.Methods
+	if candidates == nil {
+		candidates = build.Methods()
+	}
+	var methods []build.Method
+	for _, m := range candidates {
+		d, err := method.Lookup(m)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: %w", err)
 		}
+		if !d.Caps.Has(cfg.Require) {
+			continue
+		}
+		// Capability-gated scale guard: the exact pseudo-polynomial DP's
+		// cost grows with the data values, so it is only enumerated by
+		// default on small instances. An explicit Methods list overrides.
+		if cfg.Methods == nil && d.Caps.Has(method.PseudoPolynomial) && len(counts) > exactLimit {
+			continue
+		}
+		methods = append(methods, m)
+	}
+	if len(methods) == 0 {
+		return nil, fmt.Errorf("advisor: no candidate method has the required capabilities (%s)", cfg.Require)
 	}
 	tab := prefix.NewTable(counts)
 	// Build and score every candidate concurrently over the shared worker

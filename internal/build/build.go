@@ -1,120 +1,57 @@
-// Package build dispatches synopsis construction: it maps a (method,
-// storage budget) request onto the concrete algorithms of internal/dp,
-// internal/core and internal/wavelet, applies the paper's storage
-// accounting to turn a word budget into a bucket/coefficient count, and
-// composes the §4–5 improvement operators (boundary local search, value
-// re-optimization) on top. Every layer above — the public facade, the
-// engine, the advisor, the experiments — builds synopses through this
-// package only.
+// Package build is the synopsis composition layer: it applies the
+// paper's storage accounting to turn a word budget into a
+// bucket/coefficient count, runs the construction algorithm resolved
+// from the method registry (internal/method), and composes the §4–5
+// improvement operators (boundary local search, value re-optimization)
+// and the coarsen-lift scaling path on top. It holds no per-method
+// knowledge of its own — what each method *is* lives in its registry
+// descriptor; this package only sequences budget → build → improve.
 package build
 
 import (
 	"fmt"
-	"strings"
 
-	"rangeagg/internal/core"
 	"rangeagg/internal/dp"
 	"rangeagg/internal/histogram"
+	"rangeagg/internal/method"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/reopt"
-	"rangeagg/internal/wavelet"
 )
 
 // Estimator answers approximate range-sum queries; it is the internal
 // counterpart of the facade's Synopsis interface.
-type Estimator interface {
-	Estimate(a, b int) float64
-	N() int
-	StorageWords() int
-	Name() string
-}
+type Estimator = method.Estimator
 
-// Method selects a synopsis construction algorithm. The order must stay
-// aligned with the facade's public enum (rangeagg.Method converts by
-// cast; TestMethodEnumAligned guards it).
-type Method int
+// Method selects a synopsis construction algorithm. It is the registry's
+// ID type; the facade's public enum carries the same numbering
+// (TestMethodEnumAligned guards it).
+type Method = method.ID
 
+// The registered methods, re-exported so consumers keep one import.
 const (
-	Naive Method = iota
-	EquiWidth
-	EquiDepth
-	MaxDiff
-	VOptimal
-	PointOpt
-	A0
-	SAP0
-	SAP1
-	OptA
-	OptARounded
-	WaveTopBB
-	WaveRangeOpt
-	WaveAA2D
-	PrefixOpt
-	SAP2
+	Naive        = method.Naive
+	EquiWidth    = method.EquiWidth
+	EquiDepth    = method.EquiDepth
+	MaxDiff      = method.MaxDiff
+	VOptimal     = method.VOptimal
+	PointOpt     = method.PointOpt
+	A0           = method.A0
+	SAP0         = method.SAP0
+	SAP1         = method.SAP1
+	OptA         = method.OptA
+	OptARounded  = method.OptARounded
+	WaveTopBB    = method.WaveTopBB
+	WaveRangeOpt = method.WaveRangeOpt
+	WaveAA2D     = method.WaveAA2D
+	PrefixOpt    = method.PrefixOpt
+	SAP2         = method.SAP2
 )
 
-// methodNames are the paper names, indexed by Method.
-var methodNames = [...]string{
-	"NAIVE", "EQUI-WIDTH", "EQUI-DEPTH", "MAXDIFF", "V-OPT", "POINT-OPT",
-	"A0", "SAP0", "SAP1", "OPT-A", "OPT-A-ROUNDED", "TOPBB",
-	"WAVE-RANGEOPT", "WAVE-AA2D", "PREFIX-OPT", "SAP2",
-}
-
-// String returns the method's paper name.
-func (m Method) String() string {
-	if m < 0 || int(m) >= len(methodNames) {
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
-	return methodNames[m]
-}
-
 // ParseMethod resolves a method from its paper name (case-insensitive).
-func ParseMethod(s string) (Method, error) {
-	for i, name := range methodNames {
-		if strings.EqualFold(name, s) {
-			return Method(i), nil
-		}
-	}
-	return 0, fmt.Errorf("build: unknown method %q", s)
-}
+func ParseMethod(s string) (Method, error) { return method.Parse(s) }
 
-// Methods lists every available method in enum order.
-func Methods() []Method {
-	out := make([]Method, len(methodNames))
-	for i := range out {
-		out[i] = Method(i)
-	}
-	return out
-}
-
-// wordsPerUnit is the paper's storage accounting (DESIGN.md §3): words
-// per bucket for histograms, per kept coefficient for wavelets.
-func (m Method) wordsPerUnit() int {
-	switch m {
-	case Naive:
-		return 1
-	case SAP0:
-		return 3
-	case SAP1:
-		return 5
-	case SAP2:
-		return 7
-	default:
-		// The average-histogram family (2 words per bucket) and the
-		// wavelets (index + coefficient, 2 words each).
-		return 2
-	}
-}
-
-// bucketBased reports whether the method partitions the domain into
-// contiguous buckets — the methods CoarsenTo can lift.
-func (m Method) bucketBased() bool {
-	switch m {
-	case Naive, WaveTopBB, WaveRangeOpt, WaveAA2D:
-		return false
-	}
-	return true
-}
+// Methods lists every registered method in enum order.
+func Methods() []Method { return method.IDs() }
 
 // Options parameterizes Build. The fields mirror the facade's public
 // Options (see rangeagg.Options for per-field semantics); Rounding is
@@ -136,11 +73,28 @@ type Options struct {
 // Units converts the word budget into the method's bucket (or
 // coefficient) count under the paper's accounting, never below 1.
 func (o Options) Units() int {
-	u := o.BudgetWords / o.Method.wordsPerUnit()
+	words := 2 // the common accounting; unknown methods fail in Build
+	if d, err := method.Lookup(o.Method); err == nil {
+		words = d.WordsPerUnit
+	}
+	u := o.BudgetWords / words
 	if u < 1 {
 		u = 1
 	}
 	return u
+}
+
+// methodOpts translates resolved build options into the registry's
+// construction parameters.
+func (o Options) methodOpts() method.Opts {
+	return method.Opts{
+		Units:     o.Units(),
+		Rounding:  o.Rounding,
+		Seed:      o.Seed,
+		Epsilon:   o.Epsilon,
+		RoundedX:  o.RoundedX,
+		MaxStates: o.MaxStates,
+	}
 }
 
 // Build constructs a synopsis over the attribute-value distribution.
@@ -153,81 +107,23 @@ func Build(counts []int64, opt Options) (Estimator, error) {
 			return nil, fmt.Errorf("build: negative count %d at value %d", c, i)
 		}
 	}
-	if int(opt.Method) < 0 || int(opt.Method) >= len(methodNames) {
+	d, err := method.Lookup(opt.Method)
+	if err != nil {
 		return nil, fmt.Errorf("build: unknown method %d", int(opt.Method))
 	}
-	if opt.Method != Naive && opt.BudgetWords <= 0 {
+	if !d.BudgetFree && opt.BudgetWords <= 0 {
 		return nil, fmt.Errorf("build: %s needs a positive storage budget, got %d words",
-			opt.Method, opt.BudgetWords)
+			d.Name, opt.BudgetWords)
 	}
-	if opt.CoarsenTo > 0 && opt.CoarsenTo < len(counts) && opt.Method.bucketBased() {
-		return buildCoarsened(counts, opt)
+	if opt.CoarsenTo > 0 && opt.CoarsenTo < len(counts) && d.Caps.Has(method.BucketBased) {
+		return buildCoarsened(counts, d, opt)
 	}
 	tab := prefix.NewTable(counts)
-	est, err := construct(tab, counts, opt)
+	est, err := d.Build(tab, counts, opt.methodOpts())
 	if err != nil {
 		return nil, err
 	}
 	return improve(tab, est, opt)
-}
-
-// construct runs the method's construction algorithm, without the
-// improvement operators.
-func construct(tab *prefix.Table, counts []int64, opt Options) (Estimator, error) {
-	b := opt.Units()
-	switch opt.Method {
-	case Naive:
-		return histogram.NewNaive(tab), nil
-	case EquiWidth:
-		return dp.EquiWidthHist(tab, b, opt.Rounding)
-	case EquiDepth:
-		return dp.EquiDepthHist(tab, b, opt.Rounding)
-	case MaxDiff:
-		return dp.MaxDiffHist(tab, b, opt.Rounding)
-	case VOptimal:
-		return dp.VOpt(tab, b, opt.Rounding)
-	case PointOpt:
-		return dp.PointOpt(tab, b, opt.Rounding)
-	case A0:
-		return dp.A0(tab, b, opt.Rounding)
-	case SAP0:
-		return dp.SAP0(tab, b)
-	case SAP1:
-		return dp.SAP1(tab, b)
-	case SAP2:
-		return dp.SAP2(tab, b)
-	case PrefixOpt:
-		return dp.PrefixOpt(tab, b, opt.Rounding)
-	case OptA:
-		// Exact where feasible, automatic OPT-A-ROUNDED fallback beyond —
-		// the paper's §4 recommendation.
-		res, err := core.OptAAuto(tab, b, opt.Seed, core.Config{
-			MaxStates: opt.MaxStates, Mode: opt.Rounding,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return res.Hist, nil
-	case OptARounded:
-		x := opt.RoundedX
-		if x <= 0 {
-			x = core.XForEpsilon(tab, b, opt.Epsilon)
-		}
-		res, err := core.OptARounded(tab, b, x, opt.Seed, core.Config{
-			MaxStates: opt.MaxStates, Mode: opt.Rounding,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return res.Hist, nil
-	case WaveTopBB:
-		return wavelet.NewData(counts, b)
-	case WaveRangeOpt:
-		return wavelet.NewRangeOpt(tab, b)
-	case WaveAA2D:
-		return wavelet.NewAA2D(tab, b)
-	}
-	return nil, fmt.Errorf("build: unknown method %d", int(opt.Method))
 }
 
 // improve applies the §4–5 improvement operators: boundary local search
@@ -262,9 +158,9 @@ func improve(tab *prefix.Table, est Estimator, opt Options) (Estimator, error) {
 // cells, runs the bucket construction on the coarse distribution, and
 // lifts the resulting boundaries back onto the full domain — how the
 // quadratic DPs scale to domains of millions of values. Summaries are
-// recomputed at full resolution for the lifted boundaries, so only the
-// boundary placement is approximate.
-func buildCoarsened(counts []int64, opt Options) (Estimator, error) {
+// recomputed at full resolution (the descriptor's FromBounds hook) for
+// the lifted boundaries, so only the boundary placement is approximate.
+func buildCoarsened(counts []int64, d method.Descriptor, opt Options) (Estimator, error) {
 	n, cells := len(counts), opt.CoarsenTo
 	bound := func(i int) int { return i * n / cells } // cell i = [bound(i), bound(i+1))
 	coarse := make([]int64, cells)
@@ -296,35 +192,19 @@ func buildCoarsened(counts []int64, opt Options) (Estimator, error) {
 		return nil, err
 	}
 	tab := prefix.NewTable(counts)
-	var est Estimator
-	switch opt.Method {
-	case SAP0:
-		est, err = histogram.NewSAP0FromBounds(tab, bk, cLabel)
-	case SAP1:
-		est, err = histogram.NewSAP1FromBounds(tab, bk, cLabel)
-	case SAP2:
-		est, err = histogram.NewSAP2FromBounds(tab, bk, cLabel)
-	default:
-		est, err = histogram.NewAvgFromBounds(tab, bk, opt.Rounding, cLabel)
-	}
+	est, err := d.FromBounds(tab, bk, cLabel, opt.methodOpts())
 	if err != nil {
 		return nil, err
 	}
 	return improve(tab, est, opt)
 }
 
-// bucketStarts extracts the bucket boundaries and label of a histogram
-// estimator.
+// bucketStarts extracts the bucket boundaries and label of a
+// bucket-partition estimator.
 func bucketStarts(est Estimator) ([]int, string, error) {
-	switch h := est.(type) {
-	case *histogram.Avg:
-		return h.Buckets.Starts, h.Label, nil
-	case *histogram.SAP0:
-		return h.Buckets.Starts, h.Label, nil
-	case *histogram.SAP1:
-		return h.Buckets.Starts, h.Label, nil
-	case *histogram.SAP2:
-		return h.Buckets.Starts, h.Label, nil
+	bk, ok := est.(histogram.Bucketed)
+	if !ok {
+		return nil, "", fmt.Errorf("build: %s has no bucket boundaries", est.Name())
 	}
-	return nil, "", fmt.Errorf("build: %s has no bucket boundaries", est.Name())
+	return bk.BucketStarts(), bk.BucketLabel(), nil
 }

@@ -2,7 +2,9 @@
 // single Read call can restore any synopsis this module builds. It is the
 // wire form shared by the public facade (rangeagg.WriteSynopsis /
 // ReadSynopsis), the serving layer's synopsis-export endpoint, and the
-// synbuild/synquery tools.
+// synbuild/synquery tools. Family dispatch comes from the method
+// registry's family codecs (method.RegisterFamily); this package holds no
+// per-family knowledge.
 package codec
 
 import (
@@ -11,9 +13,7 @@ import (
 	"fmt"
 	"io"
 
-	"rangeagg/internal/build"
-	"rangeagg/internal/histogram"
-	"rangeagg/internal/wavelet"
+	"rangeagg/internal/method"
 )
 
 // envelope wraps a serialized synopsis with its family so Read can
@@ -26,52 +26,29 @@ type envelope struct {
 // Write serializes any estimator built by this module as JSON. Estimators
 // with no serialization form (foreign implementations, composite 2-D
 // synopses) are rejected with an error.
-func Write(w io.Writer, s build.Estimator) error {
-	var payload bytes.Buffer
-	var family string
-	switch v := s.(type) {
-	case *wavelet.DataSynopsis, *wavelet.PrefixSynopsis, *wavelet.AA2D:
-		family = "wavelet"
-		if err := wavelet.WriteJSON(&payload, v); err != nil {
-			return err
+func Write(w io.Writer, s method.Estimator) error {
+	for _, fc := range method.Families() {
+		if !fc.CanEncode(s) {
+			continue
 		}
-	case histogram.Estimator:
-		// One interface check covers the whole histogram family;
-		// histogram.Encode rejects members with no wire form.
-		family = "histogram"
-		if err := histogram.WriteJSON(&payload, v); err != nil {
+		var payload bytes.Buffer
+		if err := fc.Encode(&payload, s); err != nil {
 			return fmt.Errorf("rangeagg: synopsis type %T is not serializable: %w", s, err)
 		}
-	default:
-		return fmt.Errorf("rangeagg: synopsis type %T is not serializable", s)
+		return json.NewEncoder(w).Encode(envelope{Family: fc.Family, Payload: payload.Bytes()})
 	}
-	return json.NewEncoder(w).Encode(envelope{Family: family, Payload: payload.Bytes()})
+	return fmt.Errorf("rangeagg: synopsis type %T is not serializable", s)
 }
 
 // Read deserializes a synopsis written by Write.
-func Read(r io.Reader) (build.Estimator, error) {
+func Read(r io.Reader) (method.Estimator, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("rangeagg: decoding synopsis envelope: %w", err)
 	}
-	switch env.Family {
-	case "histogram":
-		est, err := histogram.ReadJSON(bytes.NewReader(env.Payload))
-		if err != nil {
-			return nil, err
-		}
-		return est, nil
-	case "wavelet":
-		v, err := wavelet.ReadJSON(bytes.NewReader(env.Payload))
-		if err != nil {
-			return nil, err
-		}
-		s, ok := v.(build.Estimator)
-		if !ok {
-			return nil, fmt.Errorf("rangeagg: decoded wavelet %T is not a synopsis", v)
-		}
-		return s, nil
-	default:
+	fc, ok := method.FamilyByName(env.Family)
+	if !ok {
 		return nil, fmt.Errorf("rangeagg: unknown synopsis family %q", env.Family)
 	}
+	return fc.Decode(bytes.NewReader(env.Payload))
 }

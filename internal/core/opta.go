@@ -167,10 +167,13 @@ func OptA(tab *prefix.Table, b int, cfg Config) (*histogram.Avg, *Stats, error) 
 		if layerStates > st.States {
 			st.States = layerStates
 		}
-		// Check completions at i = n with exactly k buckets.
+		// Check completions at i = n with exactly k buckets. Ties in SSE
+		// break toward the smaller Λ so the chosen optimum (and therefore
+		// the backtracked boundaries) never depends on map iteration order:
+		// construction must be bit-reproducible run to run.
 		for lamVal, s := range cur[n] {
 			sse := N*s.q - float64(lamVal)*float64(lamVal)
-			if sse < bestSSE {
+			if sse < bestSSE || (sse == bestSSE && k == bestK && lamVal < bestLam) {
 				bestSSE, bestK, bestI, bestLam = sse, k, n, lamVal
 			}
 		}

@@ -100,9 +100,15 @@ func OptAWarmup(tab *prefix.Table, b int, cfg Config) (*histogram.Avg, *Stats, e
 		if layerStates > st.States {
 			st.States = layerStates
 		}
+		// Ties in SSE break toward the lexicographically smaller key so the
+		// result never depends on map iteration order (see OptA).
 		for kk := range cur[n] {
 			sse := N*float64(kk.q) - float64(kk.lam)*float64(kk.lam)
-			if sse < bestSSE {
+			better := sse < bestSSE
+			if sse == bestSSE && k == bestK {
+				better = kk.lam < bestKey.lam || (kk.lam == bestKey.lam && kk.q < bestKey.q)
+			}
+			if better {
 				bestSSE, bestK, bestKey = sse, k, kk
 			}
 		}

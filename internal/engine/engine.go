@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/method"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/sse"
@@ -317,6 +318,70 @@ func (e *Engine) BuildSynopses(specs []SynopsisSpec) ([]*Synopsis, error) {
 		e.synopses[s.Name] = s
 	}
 	return out, nil
+}
+
+// MergeFrom absorbs a shard engine built over the same domain: the
+// shard's records are added to this engine's distribution and the named
+// synopsis is merged through the method registry's Merge hook, so the
+// merged estimator answers every range with exactly the sum of the two
+// inputs' answers (the Mergeable capability; average-representation
+// histograms built unrounded). If this engine has no synopsis under the
+// name yet, the shard's is adopted as-is. The shard is read once at the
+// start (a point-in-time merge); the absorption is a mutation, so this
+// engine's other synopses become stale.
+func (e *Engine) MergeFrom(other *Engine, name string) (*Synopsis, error) {
+	if other == nil || other == e {
+		return nil, fmt.Errorf("engine: merge requires a distinct source engine")
+	}
+	if other.Domain() != e.domain {
+		return nil, fmt.Errorf("engine: cannot merge domain %d into domain %d", other.Domain(), e.domain)
+	}
+	other.mu.RLock()
+	shardCounts := make([]int64, len(other.counts))
+	copy(shardCounts, other.counts)
+	shardRecords := other.records
+	o, ok := other.synopses[name]
+	other.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: source engine has no synopsis named %q", name)
+	}
+	d, err := method.Lookup(o.Options.Method)
+	if err != nil {
+		return nil, fmt.Errorf("engine: merging %q: %w", name, err)
+	}
+	if !d.Caps.Has(method.Mergeable) {
+		return nil, fmt.Errorf("engine: %s synopses are not mergeable", d.Name)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	est, opts, metric := o.Est, o.Options, o.Metric
+	if mine, ok := e.synopses[name]; ok {
+		if mine.Metric != o.Metric {
+			return nil, fmt.Errorf("engine: synopsis %q answers %s here but %s in the source",
+				name, mine.Metric, o.Metric)
+		}
+		dm, err := method.Lookup(mine.Options.Method)
+		if err != nil {
+			return nil, fmt.Errorf("engine: merging %q: %w", name, err)
+		}
+		if !dm.Caps.Has(method.Mergeable) {
+			return nil, fmt.Errorf("engine: %s synopses are not mergeable", dm.Name)
+		}
+		merged, err := dm.Merge(mine.Est, o.Est)
+		if err != nil {
+			return nil, fmt.Errorf("engine: merging %q: %w", name, err)
+		}
+		est, opts = merged, mine.Options
+	}
+	for v, c := range shardCounts {
+		e.counts[v] += c
+	}
+	e.records += shardRecords
+	e.version++
+	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, Version: e.version}
+	e.synopses[name] = s
+	return s, nil
 }
 
 // DropSynopsis removes a named synopsis; it reports whether it existed.

@@ -16,6 +16,7 @@ import (
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/grid"
 	"rangeagg/internal/histogram"
+	"rangeagg/internal/method"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/reopt"
@@ -109,19 +110,14 @@ func formatVal(v float64) string {
 }
 
 // roundingFor selects each method's answering procedure as the paper
-// defines it: the average-histogram family answers with the integrally
-// rounded equation (1) — the estimator the exact OPT-A dynamic program
-// optimizes and the reason its Λ state space is integral — while SAP0,
-// SAP1 and the wavelets answer with real values ("in contrast with OPT-A,
-// the above value is not necessarily an integer", §2.2.1).
+// defines it, from the registry descriptor: the average-histogram family
+// answers with the integrally rounded equation (1) — the estimator the
+// exact OPT-A dynamic program optimizes and the reason its Λ state space
+// is integral — while SAP0, SAP1 and the wavelets answer with real
+// values ("in contrast with OPT-A, the above value is not necessarily an
+// integer", §2.2.1).
 func roundingFor(m build.Method) histogram.Rounding {
-	switch m {
-	case build.Naive, build.SAP0, build.SAP1, build.SAP2,
-		build.WaveTopBB, build.WaveRangeOpt, build.WaveAA2D:
-		return histogram.RoundNone
-	default:
-		return histogram.RoundCumulative
-	}
+	return method.MustLookup(m).PaperRounding
 }
 
 // forEachIndexed runs fn for every index in [0, n) concurrently over the

@@ -1,0 +1,27 @@
+package histogram
+
+// Bucketed is implemented by estimators that partition the domain into
+// contiguous buckets and expose that structure — what the coarsen-lift
+// path needs to read boundaries off a coarse build.
+type Bucketed interface {
+	// BucketStarts returns the bucket start positions (ascending, first 0).
+	BucketStarts() []int
+	// BucketLabel returns the construction label, e.g. "A0".
+	BucketLabel() string
+}
+
+func (h *Avg) BucketStarts() []int { return h.Buckets.Starts }
+
+func (h *Avg) BucketLabel() string { return h.Label }
+
+func (h *SAP0) BucketStarts() []int { return h.Buckets.Starts }
+
+func (h *SAP0) BucketLabel() string { return h.Label }
+
+func (h *SAP1) BucketStarts() []int { return h.Buckets.Starts }
+
+func (h *SAP1) BucketLabel() string { return h.Label }
+
+func (h *SAP2) BucketStarts() []int { return h.Buckets.Starts }
+
+func (h *SAP2) BucketLabel() string { return h.Label }

@@ -1,0 +1,60 @@
+package method
+
+// This file registers the two wire families the codec envelope
+// dispatches through. The wavelet family probes first (Rank 0): wavelet
+// synopses expose the histogram estimator interface too, so probing the
+// histogram family first would claim them.
+
+import (
+	"fmt"
+	"io"
+
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/wavelet"
+)
+
+func init() {
+	RegisterFamily(FamilyCodec{
+		Family: "wavelet",
+		Rank:   0,
+		CanEncode: func(e Estimator) bool {
+			switch e.(type) {
+			case *wavelet.DataSynopsis, *wavelet.PrefixSynopsis, *wavelet.AA2D:
+				return true
+			}
+			return false
+		},
+		Encode: func(w io.Writer, e Estimator) error {
+			return wavelet.WriteJSON(w, e)
+		},
+		Decode: func(r io.Reader) (Estimator, error) {
+			s, err := wavelet.ReadJSON(r)
+			if err != nil {
+				return nil, err
+			}
+			est, ok := s.(Estimator)
+			if !ok {
+				return nil, fmt.Errorf("method: decoded wavelet synopsis %T is not an estimator", s)
+			}
+			return est, nil
+		},
+	})
+	RegisterFamily(FamilyCodec{
+		Family: "histogram",
+		Rank:   1,
+		CanEncode: func(e Estimator) bool {
+			_, ok := e.(histogram.Estimator)
+			return ok
+		},
+		Encode: func(w io.Writer, e Estimator) error {
+			he, ok := e.(histogram.Estimator)
+			if !ok {
+				return fmt.Errorf("method: %T is not a histogram estimator", e)
+			}
+			return histogram.WriteJSON(w, he)
+		},
+		Decode: func(r io.Reader) (Estimator, error) {
+			return histogram.ReadJSON(r)
+		},
+	})
+}

@@ -1,0 +1,85 @@
+package method
+
+// This file registers the average-representation histogram family: NAIVE,
+// the classical baselines (equi-width, equi-depth, maxdiff, V-optimal),
+// and the paper's range-targeted constructions POINT-OPT, A0 and
+// PREFIX-OPT. All store 2 words per bucket (1 for NAIVE), answer with the
+// paper's equation (1), and share the average-representation
+// capabilities: exact shard merging, §5 re-optimization, prefix
+// decomposition, and the coarsen-lift path.
+
+import (
+	"fmt"
+
+	"rangeagg/internal/dp"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+// avgCaps are the capabilities every average-representation histogram
+// shares.
+const avgCaps = Mergeable | PrefixDecomposable | Reoptimizable | Serializable | BucketBased
+
+// mergeAvg is the Merge hook of the average family: exact shard merging
+// via boundary-union refinement (histogram.MergeAvg).
+func mergeAvg(a, b Estimator) (Estimator, error) {
+	ha, ok := a.(*histogram.Avg)
+	if !ok {
+		return nil, fmt.Errorf("method: merge applies to average-representation histograms, not %s", a.Name())
+	}
+	hb, ok := b.(*histogram.Avg)
+	if !ok {
+		return nil, fmt.Errorf("method: merge applies to average-representation histograms, not %s", b.Name())
+	}
+	return histogram.MergeAvg(ha, hb)
+}
+
+// avgFromBounds is the FromBounds hook of the average family: recompute
+// true bucket averages at full resolution over lifted boundaries.
+func avgFromBounds(tab *prefix.Table, bk *histogram.Bucketing, label string, opt Opts) (Estimator, error) {
+	return histogram.NewAvgFromBounds(tab, bk, opt.Rounding, label)
+}
+
+// avgHistogram assembles a descriptor for one member of the average
+// family, differing only in name and boundary-construction algorithm.
+func avgHistogram(id ID, name string, construct func(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error)) Descriptor {
+	return Descriptor{
+		ID:            id,
+		Name:          name,
+		Family:        "histogram",
+		WordsPerUnit:  2,
+		Caps:          avgCaps,
+		PaperRounding: histogram.RoundCumulative,
+		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
+			return construct(tab, opt.Units, opt.Rounding)
+		},
+		FromBounds: avgFromBounds,
+		Merge:      mergeAvg,
+	}
+}
+
+func init() {
+	Register(Descriptor{
+		ID:           Naive,
+		Name:         "NAIVE",
+		Family:       "histogram",
+		WordsPerUnit: 1,
+		BudgetFree:   true,
+		// NAIVE is a single-bucket average histogram, so it merges and
+		// re-optimizes like the rest of the family; it is excluded from
+		// the coarsen-lift path (nothing to lift).
+		Caps:          Mergeable | PrefixDecomposable | Reoptimizable | Serializable,
+		PaperRounding: histogram.RoundNone,
+		Build: func(tab *prefix.Table, _ []int64, _ Opts) (Estimator, error) {
+			return histogram.NewNaive(tab), nil
+		},
+		Merge: mergeAvg,
+	})
+	Register(avgHistogram(EquiWidth, "EQUI-WIDTH", dp.EquiWidthHist))
+	Register(avgHistogram(EquiDepth, "EQUI-DEPTH", dp.EquiDepthHist))
+	Register(avgHistogram(MaxDiff, "MAXDIFF", dp.MaxDiffHist))
+	Register(avgHistogram(VOptimal, "V-OPT", dp.VOpt))
+	Register(avgHistogram(PointOpt, "POINT-OPT", dp.PointOpt))
+	Register(avgHistogram(A0, "A0", dp.A0))
+	Register(avgHistogram(PrefixOpt, "PREFIX-OPT", dp.PrefixOpt))
+}

@@ -1,0 +1,124 @@
+package method_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rangeagg/internal/codec"
+	"rangeagg/internal/dataset"
+	"rangeagg/internal/method"
+	"rangeagg/internal/prefix"
+)
+
+// fakeEstimator satisfies the estimator surface but belongs to no
+// registered wire family.
+type fakeEstimator struct{}
+
+func (fakeEstimator) Estimate(a, b int) float64 { return 0 }
+func (fakeEstimator) N() int                    { return 1 }
+func (fakeEstimator) StorageWords() int         { return 1 }
+func (fakeEstimator) Name() string              { return "fake" }
+
+// TestRegistryInvariants checks every registered descriptor end to end:
+// the name round-trips through Parse, the storage accounting is
+// positive, Build succeeds within a small budget on a Zipf distribution,
+// and Serializable descriptors round-trip through the codec
+// bit-identically.
+func TestRegistryInvariants(t *testing.T) {
+	if got := len(method.All()); got != method.Count() {
+		t.Fatalf("registry holds %d descriptors, want %d (a slot is unregistered)", got, method.Count())
+	}
+	data, err := dataset.Zipf(dataset.ZipfConfig{N: 32, Alpha: 1.6, MaxCount: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := data.Counts
+	tab := prefix.NewTable(counts)
+	const budget = 14
+	for _, d := range method.All() {
+		id, err := method.Parse(d.ID.String())
+		if err != nil {
+			t.Errorf("%s: Parse(String()) failed: %v", d.Name, err)
+			continue
+		}
+		if id != d.ID {
+			t.Errorf("%s: Parse(String()) = %v, want %v", d.Name, id, d.ID)
+		}
+		if d.WordsPerUnit <= 0 {
+			t.Errorf("%s: WordsPerUnit = %d", d.Name, d.WordsPerUnit)
+		}
+		units := budget / d.WordsPerUnit
+		if units < 1 {
+			units = 1
+		}
+		est, err := d.Build(tab, counts, method.Opts{Units: units, Seed: 1, Epsilon: 0.5})
+		if err != nil {
+			t.Errorf("%s: Build failed: %v", d.Name, err)
+			continue
+		}
+		if est.N() != len(counts) {
+			t.Errorf("%s: N = %d, want %d", d.Name, est.N(), len(counts))
+		}
+		if est.StorageWords() > budget {
+			t.Errorf("%s: %d words over the %d-word budget", d.Name, est.StorageWords(), budget)
+		}
+		if !d.Caps.Has(method.Serializable) {
+			if err := codec.Write(&bytes.Buffer{}, est); err == nil ||
+				!strings.Contains(err.Error(), "not serializable") {
+				t.Errorf("%s: non-serializable write = %v, want 'not serializable'", d.Name, err)
+			}
+			continue
+		}
+		var first bytes.Buffer
+		if err := codec.Write(&first, est); err != nil {
+			t.Errorf("%s: codec write: %v", d.Name, err)
+			continue
+		}
+		back, err := codec.Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Errorf("%s: codec read: %v", d.Name, err)
+			continue
+		}
+		var second bytes.Buffer
+		if err := codec.Write(&second, back); err != nil {
+			t.Errorf("%s: codec re-write: %v", d.Name, err)
+			continue
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%s: wire form is not bit-stable across a round trip", d.Name)
+		}
+	}
+}
+
+// TestRegistryHookAgreement pins the capability↔hook pairings Register
+// enforces, and the documented behaviour at the registry's edges.
+func TestRegistryHookAgreement(t *testing.T) {
+	for _, d := range method.All() {
+		if d.Caps.Has(method.Mergeable) != (d.Merge != nil) {
+			t.Errorf("%s: Mergeable cap and Merge hook disagree", d.Name)
+		}
+		if d.Caps.Has(method.BucketBased) != (d.FromBounds != nil) {
+			t.Errorf("%s: BucketBased cap and FromBounds hook disagree", d.Name)
+		}
+	}
+	if _, err := method.Parse("NOPE"); err == nil {
+		t.Error("Parse accepted an unknown name")
+	}
+	if _, err := method.Lookup(method.ID(99)); err == nil {
+		t.Error("Lookup accepted an unknown ID")
+	}
+	if got := method.ID(99).String(); got != "Method(99)" {
+		t.Errorf("unknown ID String() = %q", got)
+	}
+	// An estimator no family claims is rejected with the documented error.
+	if err := codec.Write(&bytes.Buffer{}, fakeEstimator{}); err == nil ||
+		!strings.Contains(err.Error(), "not serializable") {
+		t.Errorf("foreign estimator write = %v, want 'not serializable'", err)
+	}
+	// Capability sets render deterministically.
+	caps := method.Mergeable | method.Serializable
+	if got := caps.String(); got != "mergeable,serializable" {
+		t.Errorf("Caps.String() = %q", got)
+	}
+}

@@ -1,0 +1,61 @@
+package method
+
+// This file registers the paper's core contribution: OPT-A, the
+// range-optimal classical histogram via the exact pseudo-polynomial
+// dynamic program (Theorems 1-2, with automatic OPT-A-ROUNDED fallback
+// when the instance is too large — the §4 recommendation), and
+// OPT-A-ROUNDED, the (1+ε)-approximate variant (Theorem 4). Both produce
+// average-representation histograms and inherit the family's full
+// capability set; the PseudoPolynomial flag tells the advisor to skip
+// them on large instances.
+
+import (
+	"rangeagg/internal/core"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+func init() {
+	Register(Descriptor{
+		ID:            OptA,
+		Name:          "OPT-A",
+		Family:        "histogram",
+		WordsPerUnit:  2,
+		Caps:          avgCaps | PseudoPolynomial,
+		PaperRounding: histogram.RoundCumulative,
+		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
+			res, err := core.OptAAuto(tab, opt.Units, opt.Seed, core.Config{
+				MaxStates: opt.MaxStates, Mode: opt.Rounding,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res.Hist, nil
+		},
+		FromBounds: avgFromBounds,
+		Merge:      mergeAvg,
+	})
+	Register(Descriptor{
+		ID:            OptARounded,
+		Name:          "OPT-A-ROUNDED",
+		Family:        "histogram",
+		WordsPerUnit:  2,
+		Caps:          avgCaps | PseudoPolynomial,
+		PaperRounding: histogram.RoundCumulative,
+		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
+			x := opt.RoundedX
+			if x <= 0 {
+				x = core.XForEpsilon(tab, opt.Units, opt.Epsilon)
+			}
+			res, err := core.OptARounded(tab, opt.Units, x, opt.Seed, core.Config{
+				MaxStates: opt.MaxStates, Mode: opt.Rounding,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res.Hist, nil
+		},
+		FromBounds: avgFromBounds,
+		Merge:      mergeAvg,
+	})
+}

@@ -1,0 +1,57 @@
+package method
+
+// This file registers the paper's §2.2 higher-order histogram family:
+// SAP0 (suffix/average/prefix, 3 words per bucket, Theorem 7), SAP1
+// (linear suffix/prefix models, 5 words, Theorem 8) and SAP2 (quadratic
+// models, 7 words). They answer with real values ("not necessarily an
+// integer", §2.2.1), so no rounding mode applies; the representations are
+// bucket-based but not average-form, so merging and re-optimization do
+// not apply.
+
+import (
+	"rangeagg/internal/dp"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+func init() {
+	Register(Descriptor{
+		ID:           SAP0,
+		Name:         "SAP0",
+		Family:       "histogram",
+		WordsPerUnit: 3,
+		Caps:         Serializable | BucketBased,
+		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
+			return dp.SAP0(tab, opt.Units)
+		},
+		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
+			return histogram.NewSAP0FromBounds(tab, bk, label)
+		},
+	})
+	Register(Descriptor{
+		ID:           SAP1,
+		Name:         "SAP1",
+		Family:       "histogram",
+		WordsPerUnit: 5,
+		Caps:         Serializable | BucketBased,
+		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
+			return dp.SAP1(tab, opt.Units)
+		},
+		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
+			return histogram.NewSAP1FromBounds(tab, bk, label)
+		},
+	})
+	Register(Descriptor{
+		ID:           SAP2,
+		Name:         "SAP2",
+		Family:       "histogram",
+		WordsPerUnit: 7,
+		Caps:         Serializable | BucketBased,
+		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
+			return dp.SAP2(tab, opt.Units)
+		},
+		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
+			return histogram.NewSAP2FromBounds(tab, bk, label)
+		},
+	})
+}

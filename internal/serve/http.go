@@ -10,6 +10,7 @@ import (
 
 	"rangeagg/internal/codec"
 	"rangeagg/internal/engine"
+	"rangeagg/internal/method"
 )
 
 // NewHandler exposes a Server over HTTP/JSON:
@@ -21,6 +22,7 @@ import (
 //	POST /load              {"counts":[...]}
 //	POST /rebuild           force a snapshot rebuild now
 //	GET  /synopsis          ?name= — synopsis in the synquery wire format
+//	POST /synopsis/merge    ?name= — merge a shard's synopsis (wire format body)
 //	GET  /metrics           per-endpoint request/error/latency counters
 //
 // Every response is JSON; errors are {"error": "..."} with an HTTP status.
@@ -163,10 +165,28 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 		if err != nil {
 			return http.StatusNotFound, err
 		}
+		if d, err := method.Lookup(syn.Options.Method); err == nil && !d.Caps.Has(method.Serializable) {
+			return http.StatusConflict, fmt.Errorf("serve: %s synopses are not serializable", d.Name)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := codec.Write(w, syn.Est); err != nil {
 			return http.StatusInternalServerError, err
 		}
+		return 0, nil
+	})
+
+	handle("/synopsis/merge", http.MethodPost, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		name := r.URL.Query().Get("name")
+		est, err := codec.Read(r.Body)
+		if err != nil {
+			return http.StatusBadRequest, err
+		}
+		if err := s.MergeSynopsis(name, est); err != nil {
+			return http.StatusConflict, err
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "version": s.Snapshot().Version,
+		})
 		return 0, nil
 	})
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"rangeagg/internal/build"
 	"rangeagg/internal/codec"
 	"rangeagg/internal/engine"
 )
@@ -187,4 +188,75 @@ func TestHandlerMetricsAndMethodChecks(t *testing.T) {
 	if health["requests"].(float64) != 2 || health["errors"].(float64) != 1 {
 		t.Fatalf("health stats = %v", health)
 	}
+}
+
+func TestHandlerSynopsisMerge(t *testing.T) {
+	s, _, ts := newTestHandler(t)
+	before := getJSON(t, ts.URL+"/query?syn=h&a=5&b=40", http.StatusOK)["value"].(float64)
+
+	shardCounts := make([]int64, 64)
+	for i := range shardCounts {
+		shardCounts[i] = int64(25 + i%4)
+	}
+	shard, err := build.Build(shardCounts, build.Options{Method: build.EquiDepth, BudgetWords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := codec.Write(&wire, shard); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/synopsis/merge?name=h", "application/json", bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merge status %d", resp.StatusCode)
+	}
+	after := getJSON(t, ts.URL+"/query?syn=h&a=5&b=40", http.StatusOK)["value"].(float64)
+	want := before + shard.Estimate(5, 40)
+	if diff := after - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("post-merge answer %g, want %g", after, want)
+	}
+	// The merged synopsis stays exportable and the export includes the
+	// shard contribution.
+	exp, err := http.Get(ts.URL + "/synopsis?name=h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Body.Close()
+	if exp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d", exp.StatusCode)
+	}
+	est, err := codec.Read(exp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Estimate(5, 40); got-after > 1e-9 || after-got > 1e-9 {
+		t.Fatalf("exported estimate %g, served %g", got, after)
+	}
+	// A merge into a non-mergeable synopsis is refused with 409.
+	wire.Reset()
+	if err := codec.Write(&wire, shard); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/synopsis/merge?name=s", "application/json", bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("SAP0 merge status %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+	// A garbage body is a 400.
+	resp, err = http.Post(ts.URL+"/synopsis/merge?name=h", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage merge status %d, want %d", resp.StatusCode, http.StatusBadRequest)
+	}
+	_ = s
 }

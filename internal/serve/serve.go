@@ -16,6 +16,7 @@ import (
 
 	"rangeagg/internal/build"
 	"rangeagg/internal/engine"
+	"rangeagg/internal/method"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 )
@@ -60,6 +61,12 @@ type Server struct {
 	specMu    sync.RWMutex
 	specs     []engine.SynopsisSpec
 
+	// shardMu guards shards: per-synopsis estimators received from remote
+	// shards (MergeSynopsis). A rebuild folds them into the freshly built
+	// local synopsis, so shard contributions survive snapshot swaps.
+	shardMu sync.RWMutex
+	shards  map[string][]build.Estimator
+
 	rebuilds atomic.Int64
 	lastErr  atomic.Pointer[rebuildError]
 
@@ -92,12 +99,13 @@ type Result struct {
 // Callers must Close the server to stop it.
 func New(eng *engine.Engine, specs []engine.SynopsisSpec, cfg Config) (*Server, error) {
 	s := &Server{
-		eng:   eng,
-		cfg:   cfg.withDefaults(),
-		specs: append([]engine.SynopsisSpec(nil), specs...),
-		dirty: make(chan struct{}, 1),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		eng:    eng,
+		cfg:    cfg.withDefaults(),
+		specs:  append([]engine.SynopsisSpec(nil), specs...),
+		shards: make(map[string][]build.Estimator),
+		dirty:  make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	if err := s.Rebuild(); err != nil {
 		return nil, err
@@ -206,10 +214,58 @@ func (s *Server) DropSynopsis(name string) bool {
 	}
 	s.specMu.Unlock()
 	if found {
+		s.shardMu.Lock()
+		delete(s.shards, name)
+		s.shardMu.Unlock()
 		// Dropping a spec cannot fail construction of the others.
 		_ = s.Rebuild()
 	}
 	return found
+}
+
+// MergeSynopsis accepts a remote shard's estimator for the named
+// synopsis: every published snapshot from now on serves the local
+// synopsis merged with all accepted shard estimators, answering each
+// range with the sum of local and shard estimates. The synopsis's
+// method must have the Mergeable capability and the estimator must be a
+// compatible representation over the same domain (validated against the
+// current snapshot before the shard is accepted). Note the shard's
+// records are known to this server only through its estimator: exact
+// (synopsis-less) queries keep answering from local data alone.
+func (s *Server) MergeSynopsis(name string, est build.Estimator) error {
+	s.specMu.RLock()
+	var spec *engine.SynopsisSpec
+	for i := range s.specs {
+		if s.specs[i].Name == name {
+			spec = &s.specs[i]
+			break
+		}
+	}
+	s.specMu.RUnlock()
+	if spec == nil {
+		return fmt.Errorf("serve: no synopsis named %q", name)
+	}
+	d, err := method.Lookup(spec.Options.Method)
+	if err != nil {
+		return fmt.Errorf("serve: merging into %q: %w", name, err)
+	}
+	if !d.Caps.Has(method.Mergeable) {
+		return fmt.Errorf("serve: %s synopses are not mergeable", d.Name)
+	}
+	if est.N() != s.eng.Domain() {
+		return fmt.Errorf("serve: shard domain %d does not match %d", est.N(), s.eng.Domain())
+	}
+	// Dry-run against the served synopsis so an incompatible shard is
+	// rejected here instead of poisoning every later rebuild.
+	if cur, err := s.Snapshot().Synopsis(name); err == nil {
+		if _, err := d.Merge(cur.Est, est); err != nil {
+			return fmt.Errorf("serve: merging into %q: %w", name, err)
+		}
+	}
+	s.shardMu.Lock()
+	s.shards[name] = append(s.shards[name], est)
+	s.shardMu.Unlock()
+	return s.Rebuild()
 }
 
 // Query answers one request from the current snapshot.
@@ -298,6 +354,22 @@ func (s *Server) Rebuild() error {
 			return err
 		}
 	}
+	// Fold accepted shard estimators into the fresh local synopses, in
+	// arrival order, so shard contributions survive the snapshot swap.
+	s.shardMu.RLock()
+	for i, sp := range specs {
+		for _, shard := range s.shards[sp.Name] {
+			merged, err := method.MustLookup(sp.Options.Method).Merge(ests[i], shard)
+			if err != nil {
+				s.shardMu.RUnlock()
+				err = fmt.Errorf("serve: merging shard into %q: %w", sp.Name, err)
+				s.lastErr.Store(&rebuildError{err: err})
+				return err
+			}
+			ests[i] = merged
+		}
+	}
+	s.shardMu.RUnlock()
 	for i, sp := range specs {
 		snap.syns[sp.Name] = &Synopsis{Name: sp.Name, Metric: sp.Metric, Options: sp.Options, Est: ests[i]}
 	}

@@ -1,0 +1,162 @@
+package rangeagg
+
+import (
+	"math"
+	"testing"
+
+	"rangeagg/internal/oracle"
+)
+
+// mergeShards returns zipf, uniform and spiked shard distributions over
+// one domain — the three data shapes whose union a sharded deployment
+// must answer.
+func mergeShards(t *testing.T, n int) [][]int64 {
+	t.Helper()
+	zipf, err := ZipfCounts(n, 1.8, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := make([]int64, n)
+	for i := range uniform {
+		uniform[i] = 37
+	}
+	spiked := make([]int64, n)
+	for i := 0; i < n; i += 9 {
+		spiked[i] = int64(400 + 13*i)
+	}
+	return [][]int64{zipf, uniform, spiked}
+}
+
+// TestShardMergeDifferential checks the Mergeable contract against the
+// oracle on zipf/uniform/spiked shards: the merged synopsis answers
+// every range exactly as the sum of the per-shard estimates, and the
+// fast SSE path over the merged synopsis agrees with the oracle's
+// by-definition evaluation on the union distribution.
+func TestShardMergeDifferential(t *testing.T) {
+	const n = 48
+	shards := mergeShards(t, n)
+	global := make([]int64, n)
+	for _, c := range shards {
+		for i, v := range c {
+			global[i] += v
+		}
+	}
+	for _, m := range []Method{Naive, EquiDepth, A0, OptA} {
+		syns := make([]Synopsis, len(shards))
+		for i, c := range shards {
+			syn, err := Build(c, Options{Method: m, BudgetWords: 16, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s shard %d: %v", m, i, err)
+			}
+			syns[i] = syn
+		}
+		merged := syns[0]
+		for i := 1; i < len(syns); i++ {
+			var err error
+			if merged, err = MergeSynopses(merged, syns[i]); err != nil {
+				t.Fatalf("%s merge %d: %v", m, i, err)
+			}
+		}
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				var want float64
+				for _, s := range syns {
+					want += s.Estimate(a, b)
+				}
+				got := merged.Estimate(a, b)
+				if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("%s merged(%d,%d) = %g, want Σ shards %g", m, a, b, got, want)
+				}
+			}
+		}
+		fast := SSE(global, merged)
+		slow := oracle.SSE(global, merged)
+		if diff := math.Abs(fast - slow); diff > 1e-6*(1+slow) {
+			t.Errorf("%s: fast SSE %g vs oracle %g", m, fast, slow)
+		}
+	}
+}
+
+// TestEngineMergeFromDifferential drives the same contract through the
+// public engine path: the coordinator absorbs each shard engine with
+// MergeFrom, after which its exact answers match the oracle on the union
+// distribution and its approximate answers match the sum of the shard
+// engines' answers on every range.
+func TestEngineMergeFromDifferential(t *testing.T) {
+	const n = 48
+	shards := mergeShards(t, n)
+	global := make([]int64, n)
+	for _, c := range shards {
+		for i, v := range c {
+			global[i] += v
+		}
+	}
+	coord, err := NewEngine("coord", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*Engine, len(shards))
+	for i, c := range shards {
+		eng, err := NewEngine("shard", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Load(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.BuildSynopsis("s", Count, Options{Method: A0, BudgetWords: 16, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+		if err := coord.MergeFrom(eng, "s"); err != nil {
+			t.Fatalf("merge from shard %d: %v", i, err)
+		}
+	}
+	info, err := coord.Describe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasMergeable := false
+	for _, c := range info.Capabilities {
+		hasMergeable = hasMergeable || c == "mergeable"
+	}
+	if !hasMergeable {
+		t.Errorf("merged synopsis capabilities %v lack \"mergeable\"", info.Capabilities)
+	}
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			if got, want := coord.ExactCount(a, b), oracle.RangeSum(global, a, b); got != want {
+				t.Fatalf("exact(%d,%d) = %d, oracle %d", a, b, got, want)
+			}
+			var want float64
+			for _, eng := range engines {
+				v, err := eng.Approx("s", a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want += v
+			}
+			got, err := coord.Approx("s", a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("approx(%d,%d) = %g, want Σ shards %g", a, b, got, want)
+			}
+		}
+	}
+	// Merging a non-mergeable synopsis is refused by capability.
+	other, err := NewEngine("sap", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Load(shards[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.BuildSynopsis("w", Count, Options{Method: SAP0, BudgetWords: 15}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.MergeFrom(other, "w"); err == nil {
+		t.Error("SAP0 merge accepted; want a capability error")
+	}
+}

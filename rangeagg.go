@@ -36,6 +36,7 @@ import (
 	"rangeagg/internal/build"
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/histogram"
+	"rangeagg/internal/method"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/reopt"
 	"rangeagg/internal/sse"
@@ -106,11 +107,42 @@ const (
 	SAP2
 )
 
-// methodCount guards the conversion to the internal enum.
-const methodCount = int(SAP2) + 1
+// UnknownMethodError reports a Method value with no registry entry —
+// a value outside the enum, or a corrupted persisted configuration.
+type UnknownMethodError struct {
+	Method Method
+}
+
+func (e *UnknownMethodError) Error() string {
+	return fmt.Sprintf("rangeagg: unknown method %d", int(e.Method))
+}
+
+// resolve validates the method against the registry and returns its
+// internal ID. Every facade entry point that accepts a Method goes
+// through it; an unregistered value yields *UnknownMethodError rather
+// than an out-of-range cast reaching the internals.
+func (m Method) resolve() (build.Method, error) {
+	id := build.Method(m)
+	if _, err := method.Lookup(id); err != nil {
+		return 0, &UnknownMethodError{Method: m}
+	}
+	return id, nil
+}
 
 // String returns the method's paper name.
-func (m Method) String() string { return m.internal().String() }
+func (m Method) String() string { return build.Method(m).String() }
+
+// Capabilities lists the method's registered capability flags (e.g.
+// "mergeable", "serializable"), empty for unknown methods. Callers can
+// discover what a method supports — shard merging, wire export, dynamic
+// maintenance — without hard-coding method lists.
+func (m Method) Capabilities() []string {
+	d, err := method.Lookup(build.Method(m))
+	if err != nil {
+		return nil
+	}
+	return d.Caps.List()
+}
 
 // ParseMethod resolves a method from its paper name, e.g. "OPT-A".
 func ParseMethod(s string) (Method, error) {
@@ -123,14 +155,12 @@ func ParseMethod(s string) (Method, error) {
 
 // Methods lists all available methods.
 func Methods() []Method {
-	out := make([]Method, methodCount)
+	out := make([]Method, method.Count())
 	for i := range out {
 		out[i] = Method(i)
 	}
 	return out
 }
-
-func (m Method) internal() build.Method { return build.Method(m) }
 
 // Options parameterizes Build.
 type Options struct {
@@ -165,8 +195,9 @@ type Options struct {
 // Build constructs a synopsis over the attribute-value distribution.
 // Counts must be non-empty and non-negative.
 func Build(counts []int64, opt Options) (Synopsis, error) {
-	if int(opt.Method) < 0 || int(opt.Method) >= methodCount {
-		return nil, fmt.Errorf("rangeagg: unknown method %d", opt.Method)
+	im, err := opt.Method.resolve()
+	if err != nil {
+		return nil, err
 	}
 	for i, c := range counts {
 		if c < 0 {
@@ -174,7 +205,7 @@ func Build(counts []int64, opt Options) (Synopsis, error) {
 		}
 	}
 	return build.Build(counts, build.Options{
-		Method:      opt.Method.internal(),
+		Method:      im,
 		BudgetWords: opt.BudgetWords,
 		Reopt:       opt.Reopt,
 		LocalSearch: opt.LocalSearch,

@@ -1,15 +1,18 @@
 package rangeagg
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/method"
 )
 
 // TestMethodEnumAligned guards the facade's Method constants against the
-// internal enum they convert to by cast.
+// registry numbering they resolve to — the public numbering is part of
+// persisted configurations and must never shift.
 func TestMethodEnumAligned(t *testing.T) {
 	pairs := map[Method]build.Method{
 		Naive: build.Naive, EquiWidth: build.EquiWidth, EquiDepth: build.EquiDepth,
@@ -19,16 +22,29 @@ func TestMethodEnumAligned(t *testing.T) {
 		WaveRangeOpt: build.WaveRangeOpt, WaveAA2D: build.WaveAA2D,
 		PrefixOpt: build.PrefixOpt, SAP2: build.SAP2,
 	}
-	if len(pairs) != methodCount {
-		t.Fatalf("pairs cover %d methods, enum has %d", len(pairs), methodCount)
+	if len(pairs) != method.Count() {
+		t.Fatalf("pairs cover %d methods, registry has %d", len(pairs), method.Count())
 	}
 	for pub, internal := range pairs {
-		if pub.internal() != internal {
-			t.Errorf("%v maps to %v, want %v", pub, pub.internal(), internal)
+		got, err := pub.resolve()
+		if err != nil {
+			t.Errorf("%v: %v", pub, err)
+			continue
+		}
+		if got != internal {
+			t.Errorf("%v resolves to %v, want %v", pub, got, internal)
 		}
 	}
-	if len(Methods()) != methodCount {
+	if len(Methods()) != method.Count() {
 		t.Errorf("Methods() = %d entries", len(Methods()))
+	}
+	// Unregistered values resolve to the typed error.
+	var ue *UnknownMethodError
+	if _, err := Method(99).resolve(); !errors.As(err, &ue) || ue.Method != 99 {
+		t.Errorf("Method(99).resolve() = %v, want *UnknownMethodError", err)
+	}
+	if _, err := Build([]int64{1, 2}, Options{Method: Method(-1), BudgetWords: 8}); !errors.As(err, &ue) {
+		t.Errorf("Build with Method(-1) = %v, want *UnknownMethodError", err)
 	}
 }
 
