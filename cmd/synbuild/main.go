@@ -19,6 +19,7 @@ import (
 
 	"rangeagg"
 	"rangeagg/internal/dataset"
+	"rangeagg/internal/fsx"
 )
 
 func main() {
@@ -51,16 +52,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out == "-" {
+		if err := rangeagg.WriteSynopsis(os.Stdout, syn); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := rangeagg.WriteSynopsis(w, syn); err != nil {
+	} else if err := fsx.WriteFileAtomic(*out, func(w io.Writer) error {
+		return rangeagg.WriteSynopsis(w, syn)
+	}); err != nil {
 		fatal(err)
 	}
 	if *report {

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"rangeagg/internal/dataset"
+	"rangeagg/internal/fsx"
 )
 
 func main() {
@@ -48,22 +49,19 @@ func main() {
 		fatal(err)
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
+	write := d.WriteCSV
 	switch *format {
 	case "csv":
-		err = d.WriteCSV(w)
 	case "json":
-		err = d.WriteJSON(w)
+		write = d.WriteJSON
 	default:
-		err = fmt.Errorf("unknown format %q", *format)
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	if *out == "-" {
+		err = write(os.Stdout)
+	} else {
+		// Atomic: a killed syngen never leaves a half-written dataset.
+		err = fsx.WriteFileAtomic(*out, func(w io.Writer) error { return write(w) })
 	}
 	if err != nil {
 		fatal(err)

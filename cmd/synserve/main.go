@@ -7,10 +7,16 @@
 //
 //	synserve -data data.csv -syn h:OPT-A:32 -syn s:SAP1:40:SUM
 //	synserve -domain 1024 -addr 127.0.0.1:9736 -debounce 20ms
+//	synserve -data-dir /var/lib/synserve -domain 1024 -fsync always
+//
+// With -data-dir the server is durable: every acknowledged mutation is
+// appended to a write-ahead log before the HTTP response, checkpoints
+// ride along with the debounced rebuilds, and a restart recovers the
+// exact pre-crash state (newest checkpoint plus replayed log tail).
 //
 // Endpoints: /health /query /query/batch /ingest /load /rebuild /synopsis
 // /metrics (see internal/serve.NewHandler). SIGINT/SIGTERM drain in-flight
-// requests before exiting.
+// requests, then write a final checkpoint, before exiting.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/engine"
 	"rangeagg/internal/serve"
+	"rangeagg/internal/wal"
 )
 
 type synList []string
@@ -49,19 +56,36 @@ func main() {
 		readTO     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO    = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		shutdownTO = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
+		dataDir    = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints)")
+		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
+		ckptEvery  = flag.Int64("checkpoint-every", 1024, "checkpoint once this many WAL records accumulate")
 	)
 	flag.Var(&syns, "syn", "synopsis spec name:METHOD:budgetWords[:COUNT|SUM] (repeatable)")
 	flag.Parse()
 
-	eng, err := newEngine(*dataPath, *domain)
-	if err != nil {
-		fatal(err)
-	}
 	specs, err := parseSpecs(syns)
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := serve.New(eng, specs, serve.Config{Debounce: *debounce, MaxLag: *maxLag})
+	cfg := serve.Config{Debounce: *debounce, MaxLag: *maxLag}
+
+	var eng *engine.Engine
+	var db *wal.DB
+	if *dataDir != "" {
+		var rec *wal.Recovery
+		db, rec, err = openDurable(*dataDir, *dataPath, *domain, *fsyncMode, *ckptEvery)
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		eng = db.Engine()
+		cfg.WAL = db
+		cfg.RecoveredShards = rec.Shards
+	} else if eng, err = newEngine(*dataPath, *domain); err != nil {
+		fatal(err)
+	}
+
+	srv, err := serve.New(eng, specs, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,7 +119,65 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	srv.Close()
+	if db != nil {
+		// A final checkpoint makes the next boot replay-free; the deferred
+		// db.Close still syncs the log if the checkpoint fails.
+		if err := db.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "synserve: final checkpoint:", err)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "synserve: shutdown complete")
+}
+
+// openDurable opens (or initializes) the write-ahead-logged engine in
+// dataDir. A CSV preload seeds a fresh directory only; on recovery the
+// directory is authoritative and -data is ignored.
+func openDurable(dataDir, dataPath string, domain int, fsyncMode string, ckptEvery int64) (*wal.DB, *wal.Recovery, error) {
+	policy, err := wal.ParseFsyncPolicy(fsyncMode)
+	if err != nil {
+		return nil, nil, err
+	}
+	var counts []int64
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		counts = d.Counts
+		domain = d.N()
+	}
+	db, rec, err := wal.Open(dataDir, wal.Options{
+		Name:            "synserve",
+		Domain:          domain,
+		Fsync:           policy,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Fresh {
+		if counts != nil {
+			if err := db.Load(counts); err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "synserve: initialized data dir %s (domain %d)\n",
+			dataDir, db.Engine().Domain())
+	} else {
+		if counts != nil {
+			fmt.Fprintln(os.Stderr, "synserve: -data ignored: recovering existing data dir")
+		}
+		fmt.Fprintf(os.Stderr, "synserve: recovered data dir %s (checkpoint %d, replayed %d records, torn=%v)\n",
+			dataDir, rec.Checkpoint, rec.Replayed, rec.Torn)
+	}
+	return db, rec, nil
 }
 
 // newEngine builds the column either from a CSV distribution or empty over

@@ -1,0 +1,212 @@
+package rangeagg_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rangeagg"
+)
+
+// TestOpenDurableRoundTrip exercises the public durability facade: a
+// durable engine takes mutations and synopsis builds, is closed, and a
+// reopen recovers the exact state — counts, records, and synopsis
+// answers.
+func TestOpenDurableRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	d, err := rangeagg.OpenDurable(dir, rangeagg.DurableOptions{Domain: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Recovery().Fresh {
+		t.Fatal("first open not fresh")
+	}
+	counts := make([]int64, 64)
+	for i := range counts {
+		counts[i] = int64((i * 3) % 11)
+	}
+	if err := d.Load(counts); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(10, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(10, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BuildSynopsis("h", rangeagg.Count, rangeagg.Options{Method: rangeagg.VOptimal, BudgetWords: 20}); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := d.Counts()
+	wantRecords := d.Records()
+	wantApprox, err := d.Approx("h", 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := d.Stats(); stats.Appends != 4 {
+		t.Fatalf("appends = %d, want 4", stats.Appends)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := rangeagg.OpenDurable(dir, rangeagg.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if rec.Fresh || rec.Torn || rec.Replayed != 4 {
+		t.Fatalf("recovery = %+v, want 4 clean replays", rec)
+	}
+	if !reflect.DeepEqual(d2.Counts(), wantCounts) || d2.Records() != wantRecords {
+		t.Fatal("recovered distribution differs")
+	}
+	if names := d2.SynopsisNames(); len(names) != 1 || names[0] != "h" {
+		t.Fatalf("recovered synopses = %v", names)
+	}
+	got, err := d2.Approx("h", 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantApprox {
+		t.Fatalf("recovered approx %v, want %v", got, wantApprox)
+	}
+	if info, err := d2.Describe("h"); err != nil || info.Name != "h" {
+		t.Fatalf("Describe = %+v, %v", info, err)
+	}
+	batch, err := d2.ApproxBatch("h", []rangeagg.Range{{A: 0, B: 63}, {A: 5, B: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || batch[1] != wantApprox {
+		t.Fatalf("batch = %v", batch)
+	}
+	if got, want := d2.ExactCount(0, 63), wantRecords; got != want {
+		t.Fatalf("exact count %d, want %d", got, want)
+	}
+	if err := d2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s := d2.Stats(); s.RecordsSinceCheckpoint != 0 {
+		t.Fatalf("records since checkpoint = %d after Checkpoint", s.RecordsSinceCheckpoint)
+	}
+
+	if !d2.DropSynopsis("h") {
+		t.Fatal("drop reported missing synopsis")
+	}
+	if d2.DropSynopsis("h") {
+		t.Fatal("second drop reported success")
+	}
+
+	// A bad fsync policy is rejected up front.
+	if _, err := rangeagg.OpenDurable(filepath.Join(dir, "x"), rangeagg.DurableOptions{Domain: 4, Fsync: "sometimes"}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}
+
+// TestDurableMergeFrom absorbs a shard engine through the facade and
+// checks the merge survives a restart.
+func TestDurableMergeFrom(t *testing.T) {
+	dir := t.TempDir()
+	d, err := rangeagg.OpenDurable(dir, rangeagg.DurableOptions{Domain: 32, Fsync: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BuildSynopsis("h", rangeagg.Count, rangeagg.Options{Method: rangeagg.VOptimal, BudgetWords: 12}); err != nil {
+		t.Fatal(err)
+	}
+
+	shard, err := rangeagg.NewEngine("shard", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.Insert(20, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.BuildSynopsis("h", rangeagg.Count, rangeagg.Options{Method: rangeagg.VOptimal, BudgetWords: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.MergeFrom(shard, "h"); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := d.Counts()
+	wantApprox, err := d.Approx("h", 0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := rangeagg.OpenDurable(dir, rangeagg.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !reflect.DeepEqual(d2.Counts(), wantCounts) {
+		t.Fatal("merged counts not recovered")
+	}
+	if got, _ := d2.Approx("h", 0, 31); got != wantApprox {
+		t.Fatalf("merged approx %v, want %v", got, wantApprox)
+	}
+}
+
+// TestStoreSaveFileAtomic checks the crash-safe store save: the file
+// round-trips, and overwriting goes through a temp file so no partial
+// state is ever visible at the destination path.
+func TestStoreSaveFileAtomic(t *testing.T) {
+	st := rangeagg.NewStore("catalog")
+	col, err := st.CreateColumn("c", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Insert(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rangeagg.OpenStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2, err := back.Column("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col2.ExactCount(0, 15); got != 7 {
+		t.Fatalf("restored count %d, want 7", got)
+	}
+	// Overwrite: the new content lands fully, the directory holds no
+	// temp litter.
+	if err := col.Insert(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := rangeagg.OpenStoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col3, err := back2.Column("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col3.ExactCount(0, 15); got != 8 {
+		t.Fatalf("overwritten store holds %d records, want 8", got)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the store file", len(entries))
+	}
+}

@@ -339,13 +339,36 @@ func (e *Engine) MergeFrom(other *Engine, name string) (*Synopsis, error) {
 	other.mu.RLock()
 	shardCounts := make([]int64, len(other.counts))
 	copy(shardCounts, other.counts)
-	shardRecords := other.records
 	o, ok := other.synopses[name]
 	other.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("engine: source engine has no synopsis named %q", name)
 	}
-	d, err := method.Lookup(o.Options.Method)
+	return e.AbsorbShard(name, shardCounts, o.Metric, o.Options, o.Est)
+}
+
+// AbsorbShard is the replayable core of MergeFrom: it adds a shard's
+// per-value counts to this engine's distribution and merges the shard's
+// estimator into the registered synopsis of the same name (adopting it
+// under the given metric and options when none is registered). The
+// method — and, when present, the local synopsis's method — must have
+// the Mergeable capability. The durability layer logs exactly these
+// arguments, so replaying the record reproduces the absorption.
+func (e *Engine) AbsorbShard(name string, shardCounts []int64, metric Metric, opts build.Options, est build.Estimator) (*Synopsis, error) {
+	if est == nil {
+		return nil, fmt.Errorf("engine: absorbing %q: nil shard estimator", name)
+	}
+	if len(shardCounts) != e.domain {
+		return nil, fmt.Errorf("engine: cannot merge domain %d into domain %d", len(shardCounts), e.domain)
+	}
+	var shardRecords int64
+	for v, c := range shardCounts {
+		if c < 0 {
+			return nil, fmt.Errorf("engine: absorbing %q: negative shard count at value %d", name, v)
+		}
+		shardRecords += c
+	}
+	d, err := method.Lookup(opts.Method)
 	if err != nil {
 		return nil, fmt.Errorf("engine: merging %q: %w", name, err)
 	}
@@ -355,11 +378,10 @@ func (e *Engine) MergeFrom(other *Engine, name string) (*Synopsis, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	est, opts, metric := o.Est, o.Options, o.Metric
 	if mine, ok := e.synopses[name]; ok {
-		if mine.Metric != o.Metric {
+		if mine.Metric != metric {
 			return nil, fmt.Errorf("engine: synopsis %q answers %s here but %s in the source",
-				name, mine.Metric, o.Metric)
+				name, mine.Metric, metric)
 		}
 		dm, err := method.Lookup(mine.Options.Method)
 		if err != nil {
@@ -368,7 +390,7 @@ func (e *Engine) MergeFrom(other *Engine, name string) (*Synopsis, error) {
 		if !dm.Caps.Has(method.Mergeable) {
 			return nil, fmt.Errorf("engine: %s synopses are not mergeable", dm.Name)
 		}
-		merged, err := dm.Merge(mine.Est, o.Est)
+		merged, err := dm.Merge(mine.Est, est)
 		if err != nil {
 			return nil, fmt.Errorf("engine: merging %q: %w", name, err)
 		}
@@ -382,6 +404,19 @@ func (e *Engine) MergeFrom(other *Engine, name string) (*Synopsis, error) {
 	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, Version: e.version}
 	e.synopses[name] = s
 	return s, nil
+}
+
+// InstallSynopsis registers a pre-built estimator under the given name
+// at the current data version, replacing any previous one. It is the
+// recovery path's way to restore checkpointed synopses bit-identically
+// instead of rebuilding them; the estimator must span the engine's
+// domain.
+func (e *Engine) InstallSynopsis(name string, metric Metric, opts build.Options, est build.Estimator) *Synopsis {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, Version: e.version}
+	e.synopses[name] = s
+	return s
 }
 
 // DropSynopsis removes a named synopsis; it reports whether it existed.

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/fsx"
 )
 
 // Store manages multiple named columns, each a full Engine with its own
@@ -119,6 +121,25 @@ func (s *Store) Save(w io.Writer) error {
 	}
 	s.mu.RUnlock()
 	return json.NewEncoder(w).Encode(wire)
+}
+
+// SaveFile writes the store to a file crash-safely: the JSON goes to a
+// temp file in the destination directory, is fsynced, and atomically
+// renamed over the path, so a crash mid-save never truncates or corrupts
+// the previous good copy.
+func (s *Store) SaveFile(path string) error {
+	return fsx.WriteFileAtomic(path, s.Save)
+}
+
+// LoadStoreFile restores a store from a file written by SaveFile (or any
+// Save output on disk).
+func LoadStoreFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadStore(f)
 }
 
 // LoadStore restores a store written by Save, rebuilding every synopsis

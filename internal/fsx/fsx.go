@@ -1,0 +1,64 @@
+// Package fsx holds the small filesystem primitives the durability layer
+// is built from: crash-safe whole-file replacement (write to a temp file
+// in the target directory, fsync, rename over the destination, fsync the
+// directory) and directory fsync. A crash at any point leaves either the
+// previous complete file or the new complete file, never a truncated or
+// interleaved one.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic replaces path with the bytes produced by write,
+// crash-safely. The data is written to a temporary file in path's
+// directory (so the final rename stays within one filesystem), fsynced,
+// renamed over path, and the directory entry is fsynced. On any error the
+// previous contents of path are untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("fsx: creating temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("fsx: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("fsx: syncing %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("fsx: closing %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fsx: renaming into %s: %w", path, err)
+	}
+	if err = SyncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so that renames and removals inside it are
+// durable. On filesystems that do not support fsync on directories the
+// error is surfaced to the caller.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsx: opening directory %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fsx: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}

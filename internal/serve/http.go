@@ -191,7 +191,16 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 	})
 
 	handle("/metrics", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
-		writeJSON(w, http.StatusOK, m.Snapshot())
+		resp := make(map[string]any)
+		for name, ep := range m.Snapshot() {
+			resp[name] = ep
+		}
+		if s.cfg.WAL != nil {
+			// Durability gauges: log traffic, fsync work, checkpoint
+			// freshness, and the records replayed at startup.
+			resp["durability"] = s.cfg.WAL.Stats()
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return 0, nil
 	})
 

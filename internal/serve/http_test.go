@@ -12,6 +12,7 @@ import (
 	"rangeagg/internal/build"
 	"rangeagg/internal/codec"
 	"rangeagg/internal/engine"
+	"rangeagg/internal/wal"
 )
 
 func newTestHandler(t *testing.T) (*Server, *Metrics, *httptest.Server) {
@@ -259,4 +260,108 @@ func TestHandlerSynopsisMerge(t *testing.T) {
 		t.Fatalf("garbage merge status %d, want %d", resp.StatusCode, http.StatusBadRequest)
 	}
 	_ = s
+}
+
+// TestHandlerDurabilityMetrics runs the handler over a WAL-backed server
+// and checks the /metrics durability block: gauges appear, count the
+// logged mutations, and a recovered server reports its replay (and
+// re-seeds accepted shard merges from the log).
+func TestHandlerDurabilityMetrics(t *testing.T) {
+	dir := t.TempDir()
+	db, rec, err := wal.Open(dir, wal.Options{Domain: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(db.Engine(), testSpecs(), Config{WAL: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	ts := httptest.NewServer(NewHandler(s, m))
+
+	postJSON(t, ts.URL+"/ingest", map[string]any{
+		"inserts": []map[string]any{{"value": 3, "count": 5}, {"value": 40, "count": 2}},
+	}, http.StatusOK)
+	counts := make([]int64, 64)
+	counts[10] = 7
+	postJSON(t, ts.URL+"/load", map[string]any{"counts": counts}, http.StatusOK)
+
+	// An accepted shard merge is logged before it is acknowledged.
+	shardCounts := make([]int64, 64)
+	for i := range shardCounts {
+		shardCounts[i] = int64(1 + i%3)
+	}
+	shard, err := build.Build(shardCounts, build.Options{Method: build.EquiWidth, BudgetWords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := codec.Write(&wire, shard); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/synopsis/merge?name=h", "application/json", bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merge status %d", resp.StatusCode)
+	}
+
+	stats := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	dur, ok := stats["durability"].(map[string]any)
+	if !ok {
+		t.Fatalf("no durability block in /metrics: %v", stats)
+	}
+	if got := dur["wal_appends"].(float64); got != 4 { // 2 inserts + load + merge
+		t.Fatalf("wal_appends = %v, want 4", got)
+	}
+	if dur["wal_bytes"].(float64) <= 0 {
+		t.Fatalf("wal_bytes = %v, want > 0", dur["wal_bytes"])
+	}
+	if got := dur["replayed_records"].(float64); got != 0 {
+		t.Fatalf("replayed_records = %v on a fresh dir", got)
+	}
+	if _, ok := dur["last_checkpoint_age_s"]; !ok {
+		t.Fatal("no last_checkpoint_age_s gauge")
+	}
+	mergedAnswer := getJSON(t, ts.URL+"/query?syn=h&a=0&b=63", http.StatusOK)["value"].(float64)
+
+	ts.Close()
+	s.Close()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover: the replay count surfaces in the gauges and the accepted
+	// shard merge is re-seeded into the rebuilt synopsis.
+	db2, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if len(rec.Shards) != 1 {
+		t.Fatalf("recovered %d shard merges, want 1", len(rec.Shards))
+	}
+	s2, err := New(db2.Engine(), testSpecs(), Config{WAL: db2, RecoveredShards: rec.Shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(NewHandler(s2, NewMetrics()))
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+
+	stats = getJSON(t, ts2.URL+"/metrics", http.StatusOK)
+	dur = stats["durability"].(map[string]any)
+	if got := dur["replayed_records"].(float64); got != 4 {
+		t.Fatalf("replayed_records = %v after restart, want 4", got)
+	}
+	got := getJSON(t, ts2.URL+"/query?syn=h&a=0&b=63", http.StatusOK)["value"].(float64)
+	if got-mergedAnswer > 1e-9 || mergedAnswer-got > 1e-9 {
+		t.Fatalf("recovered merged answer %g, pre-restart %g", got, mergedAnswer)
+	}
+	// A plain (non-durable) server exposes no durability block.
+	_, _, plain := newTestHandler(t)
+	if _, ok := getJSON(t, plain.URL+"/metrics", http.StatusOK)["durability"]; ok {
+		t.Fatal("non-durable server reports durability gauges")
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"rangeagg/internal/method"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
+	"rangeagg/internal/wal"
 )
 
 // Config tunes the server; zero values select the defaults.
@@ -33,6 +34,16 @@ type Config struct {
 	// FanOut is the smallest batch QueryBatch spreads over the worker
 	// pool; smaller batches evaluate inline (default 128).
 	FanOut int
+	// WAL, when non-nil, makes the server durable: the engine must be
+	// the DB's engine, every mutation path (ingest, load, shard merge)
+	// appends its log record before the call acknowledges, and a
+	// checkpoint piggybacks on the debounced rebuild once enough records
+	// accumulate.
+	WAL *wal.DB
+	// RecoveredShards seeds the shard-merge inbox from crash recovery
+	// without re-logging. Entries whose name has no registered spec are
+	// ignored.
+	RecoveredShards []wal.ShardMerge
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +118,14 @@ func New(eng *engine.Engine, specs []engine.SynopsisSpec, cfg Config) (*Server, 
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	for _, sh := range cfg.RecoveredShards {
+		for _, sp := range s.specs {
+			if sp.Name == sh.Name {
+				s.shards[sh.Name] = append(s.shards[sh.Name], sh.Est)
+				break
+			}
+		}
+	}
 	if err := s.Rebuild(); err != nil {
 		return nil, err
 	}
@@ -135,28 +154,49 @@ func (s *Server) LastError() error {
 	return nil
 }
 
-// Insert forwards to the engine and schedules a debounced rebuild.
+// Insert forwards to the engine — through the write-ahead log when the
+// server is durable, so the record is on the log before the call
+// returns — and schedules a debounced rebuild.
 func (s *Server) Insert(value int, occurrences int64) error {
-	if err := s.eng.Insert(value, occurrences); err != nil {
+	var err error
+	if s.cfg.WAL != nil {
+		err = s.cfg.WAL.Insert(value, occurrences)
+	} else {
+		err = s.eng.Insert(value, occurrences)
+	}
+	if err != nil {
 		return err
 	}
 	s.MarkDirty()
 	return nil
 }
 
-// Delete forwards to the engine and schedules a debounced rebuild.
+// Delete forwards to the engine (via the write-ahead log when durable)
+// and schedules a debounced rebuild.
 func (s *Server) Delete(value int, occurrences int64) error {
-	if err := s.eng.Delete(value, occurrences); err != nil {
+	var err error
+	if s.cfg.WAL != nil {
+		err = s.cfg.WAL.Delete(value, occurrences)
+	} else {
+		err = s.eng.Delete(value, occurrences)
+	}
+	if err != nil {
 		return err
 	}
 	s.MarkDirty()
 	return nil
 }
 
-// Load forwards a bulk load to the engine and schedules a debounced
-// rebuild.
+// Load forwards a bulk load to the engine (via the write-ahead log when
+// durable) and schedules a debounced rebuild.
 func (s *Server) Load(counts []int64) error {
-	if err := s.eng.Load(counts); err != nil {
+	var err error
+	if s.cfg.WAL != nil {
+		err = s.cfg.WAL.Load(counts)
+	} else {
+		err = s.eng.Load(counts)
+	}
+	if err != nil {
 		return err
 	}
 	s.MarkDirty()
@@ -217,6 +257,11 @@ func (s *Server) DropSynopsis(name string) bool {
 		s.shardMu.Lock()
 		delete(s.shards, name)
 		s.shardMu.Unlock()
+		if s.cfg.WAL != nil {
+			// Purge the durable inbox too so recovery cannot resurrect
+			// shard merges for the dropped synopsis.
+			_, _ = s.cfg.WAL.DropSynopsis(name)
+		}
 		// Dropping a spec cannot fail construction of the others.
 		_ = s.Rebuild()
 	}
@@ -260,6 +305,13 @@ func (s *Server) MergeSynopsis(name string, est build.Estimator) error {
 	if cur, err := s.Snapshot().Synopsis(name); err == nil {
 		if _, err := d.Merge(cur.Est, est); err != nil {
 			return fmt.Errorf("serve: merging into %q: %w", name, err)
+		}
+	}
+	if s.cfg.WAL != nil {
+		// Append before acknowledging: an accepted shard survives a
+		// crash from here on.
+		if err := s.cfg.WAL.LogShardMerge(name, est); err != nil {
+			return err
 		}
 	}
 	s.shardMu.Lock()
@@ -418,6 +470,10 @@ func (s *Server) debounceLoop() {
 				break quiet
 			}
 		}
-		_ = s.Rebuild() // failure keeps the old snapshot; LastError reports it
+		if err := s.Rebuild(); err == nil && s.cfg.WAL != nil {
+			// Checkpoints piggyback on the debounced rebuild: the engine
+			// is quiescing, so the captured state is the one just served.
+			_, _ = s.cfg.WAL.MaybeCheckpoint()
+		} // a failed rebuild keeps the old snapshot; LastError reports it
 	}
 }

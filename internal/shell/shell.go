@@ -520,12 +520,9 @@ func (s *Shell) save(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: save <file>")
 	}
-	f, err := os.Create(args[0])
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := s.store.Save(f); err != nil {
+	// Crash-safe: temp file + fsync + atomic rename, so an interrupted
+	// save never clobbers the previous copy.
+	if err := s.store.SaveFile(args[0]); err != nil {
 		return err
 	}
 	fmt.Fprintf(s.out, "saved %d columns to %s\n", len(s.store.Columns()), args[0])

@@ -1,0 +1,326 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rangeagg/internal/fsx"
+)
+
+// FsyncPolicy selects when appended records are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every append: an acknowledged mutation is
+	// durable. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background ticker (Options.FsyncEvery):
+	// at most that much acknowledged work can be lost to a power failure.
+	FsyncInterval
+	// FsyncOff never fsyncs the log explicitly; durability is whatever
+	// the OS page cache provides. Process crashes lose nothing (the
+	// writes are in the kernel), machine crashes may lose the tail.
+	FsyncOff
+)
+
+// String names the policy as the -fsync flag spells it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return "always"
+}
+
+// ParseFsyncPolicy resolves a policy from its flag spelling.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// segmentName returns the file name of the segment whose first record
+// has the given global index.
+func segmentName(base uint64) string { return fmt.Sprintf("wal-%016x.seg", base) }
+
+// parseSegmentName extracts the base index from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+	return base, err == nil
+}
+
+// segmentInfo locates one on-disk segment.
+type segmentInfo struct {
+	path string
+	base uint64
+}
+
+// listSegments returns the directory's segments sorted by base index.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if base, ok := parseSegmentName(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, segmentInfo{path: filepath.Join(dir, e.Name()), base: base})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// readSegment loads a segment file and decodes its valid record prefix.
+// validEnd is the absolute file offset just past the last valid record
+// (segHdrLen for an empty-but-well-headed segment); intact reports that
+// no torn or corrupt bytes follow it. A file too short or with a bad
+// header is reported with ok=false and must be ignored entirely.
+func readSegment(path string) (base uint64, payloads [][]byte, validEnd int64, intact, ok bool, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, 0, false, false, fmt.Errorf("wal: reading segment %s: %w", path, err)
+	}
+	if len(buf) < segHdrLen || string(buf[:len(segMagic)]) != segMagic {
+		return 0, nil, 0, false, false, nil
+	}
+	base = binary.LittleEndian.Uint64(buf[len(segMagic):segHdrLen])
+	payloads, end, intact := decodeRecords(buf[segHdrLen:])
+	return base, payloads, int64(segHdrLen + end), intact, true, nil
+}
+
+// Log is the segmented appender. It is safe for concurrent use; the DB
+// additionally serializes appends with record application.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	f        *os.File
+	base     uint64 // index of the active segment's first record
+	count    uint64 // records appended to the active segment
+	size     int64  // active segment size in bytes
+	segBytes int64  // rotation threshold
+	policy   FsyncPolicy
+	dirty    bool // unsynced appends (interval/off policies)
+	stats    *counters
+}
+
+// openLog continues the log at nextIndex: it reuses the active segment
+// when it ends exactly there (activePath non-empty, truncated to
+// activeEnd by the caller), otherwise starts a fresh segment.
+func openLog(dir string, nextIndex uint64, activePath string, activeBase uint64, activeCount uint64, activeEnd int64, segBytes int64, policy FsyncPolicy, stats *counters) (*Log, error) {
+	l := &Log{dir: dir, segBytes: segBytes, policy: policy, stats: stats}
+	if activePath != "" {
+		f, err := os.OpenFile(activePath, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: opening active segment: %w", err)
+		}
+		if _, err := f.Seek(activeEnd, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seeking active segment: %w", err)
+		}
+		l.f, l.base, l.count, l.size = f, activeBase, activeCount, activeEnd
+		return l, nil
+	}
+	if err := l.startSegment(nextIndex); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// startSegment creates and syncs a fresh segment whose first record will
+// have the given global index, replacing the active one.
+func (l *Log) startSegment(base uint64) error {
+	hdr := make([]byte, segHdrLen)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint64(hdr[len(segMagic):], base)
+	path := filepath.Join(l.dir, segmentName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing segment header: %w", err)
+	}
+	l.stats.fsyncs.Add(1)
+	if err := fsx.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.base, l.count, l.size = f, base, 0, segHdrLen
+	return nil
+}
+
+// Append frames and writes one record, returning its global index. The
+// segment rotates before the write when the active one is full; fsync
+// behavior follows the policy.
+func (l *Log) Append(rw recordWire) (uint64, error) {
+	frame, err := marshalRecord(rw)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.size >= l.segBytes && l.count > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: appending record: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.count++
+	idx := l.base + l.count - 1
+	l.stats.appends.Add(1)
+	l.stats.bytes.Add(int64(len(frame)))
+	if l.policy == FsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: syncing record: %w", err)
+		}
+		l.stats.fsyncs.Add(1)
+	} else {
+		l.dirty = true
+	}
+	return idx, nil
+}
+
+// LastIndex returns the index of the most recently appended record, or
+// base-1 when the active segment is empty.
+func (l *Log) LastIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + l.count - 1
+}
+
+// Sync forces buffered appends to stable storage (interval policy tick,
+// or an explicit barrier).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing log: %w", err)
+	}
+	l.stats.fsyncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+// Rotate closes the active segment and starts a fresh one; the next
+// record continues the global index sequence. Rotating an empty segment
+// is a no-op. Used by checkpoints so every superseded record lives in a
+// non-active segment that truncation can remove.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return nil
+	}
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	old := l.f
+	if err := l.startSegment(l.base + l.count); err != nil {
+		return err
+	}
+	return old.Close()
+}
+
+// TruncateThrough removes every non-active segment whose records are all
+// covered (index ≤ applied) — the post-checkpoint space reclaim. It
+// returns how many segments were removed.
+func (l *Log) TruncateThrough(applied uint64) (int, error) {
+	l.mu.Lock()
+	activeBase := l.base
+	l.mu.Unlock()
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, s := range segs {
+		if s.base == activeBase {
+			continue
+		}
+		// The segment's records end where the next segment begins (the
+		// active segment's base bounds the last non-active one).
+		var next uint64
+		if i+1 < len(segs) {
+			next = segs[i+1].base
+		} else {
+			next = activeBase
+		}
+		if next == 0 || next-1 > applied || s.base > applied {
+			continue
+		}
+		if err := os.Remove(s.path); err != nil {
+			return removed, fmt.Errorf("wal: removing truncated segment: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := fsx.SyncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Segments reports how many segment files exist.
+func (l *Log) Segments() (int, error) {
+	segs, err := listSegments(l.dir)
+	return len(segs), err
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		l.f.Close()
+		l.f = nil
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// fsyncEveryDefault is the interval policy's default tick.
+const fsyncEveryDefault = 100 * time.Millisecond

@@ -49,6 +49,21 @@ func (s *Store) Columns() []string { return s.inner.Columns() }
 // Save writes the store as JSON.
 func (s *Store) Save(w io.Writer) error { return s.inner.Save(w) }
 
+// SaveFile writes the store to a file crash-safely: the JSON is written
+// to a temp file in the destination directory, fsynced, and atomically
+// renamed over the path, so a crash mid-save never truncates the
+// previous good copy.
+func (s *Store) SaveFile(path string) error { return s.inner.SaveFile(path) }
+
+// OpenStoreFile restores a store from a file written by SaveFile.
+func OpenStoreFile(path string) (*Store, error) {
+	inner, err := engine.LoadStoreFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{inner: inner}, nil
+}
+
 // OpenStore restores a store written by Save.
 func OpenStore(r io.Reader) (*Store, error) {
 	inner, err := engine.LoadStore(r)
