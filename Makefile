@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: build test race bench benchdiff bench-baseline fuzz-smoke cover lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'ConstructScaling|ServeHTTP' -benchtime 100ms .
+
+# Gate the benchmarks against the committed baseline (fails on >15%
+# median regression; see scripts/benchdiff).
+benchdiff:
+	$(GO) run ./scripts/benchdiff
+
+# Refresh BENCH_baseline.json after an intentional performance change.
+# Run on the reference machine, then commit the updated baseline.
+bench-baseline:
+	$(GO) run ./scripts/benchdiff -update
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadSynopsis -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzEngineQuery -fuzztime 10s ./internal/engine
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
+
+cover:
+	$(GO) test -short -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) run ./scripts/coverfloor -profile cover.out -floor 70 \
+		rangeagg/internal/serve rangeagg/internal/oracle rangeagg/internal/codec \
+		rangeagg/internal/wal rangeagg/internal/obs
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./scripts/switchlint

@@ -15,8 +15,10 @@
 // exact pre-crash state (newest checkpoint plus replayed log tail).
 //
 // Endpoints: /health /query /query/batch /ingest /load /rebuild /synopsis
-// /metrics (see internal/serve.NewHandler). SIGINT/SIGTERM drain in-flight
-// requests, then write a final checkpoint, before exiting.
+// /metrics /metrics.prom /trace (see internal/serve.NewHandler), plus
+// /debug/pprof/ with -pprof. Spans slower than -slow-op are logged to
+// stderr. SIGINT/SIGTERM drain in-flight requests, then write a final
+// checkpoint, before exiting.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -36,6 +39,7 @@ import (
 	"rangeagg/internal/build"
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/engine"
+	"rangeagg/internal/obs"
 	"rangeagg/internal/serve"
 	"rangeagg/internal/wal"
 )
@@ -59,9 +63,18 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints)")
 		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy: always, interval, or off")
 		ckptEvery  = flag.Int64("checkpoint-every", 1024, "checkpoint once this many WAL records accumulate")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the listen address")
+		slowOp     = flag.Duration("slow-op", 500*time.Millisecond, "log spans slower than this to stderr (0 disables)")
 	)
 	flag.Var(&syns, "syn", "synopsis spec name:METHOD:budgetWords[:COUNT|SUM] (repeatable)")
 	flag.Parse()
+
+	if *slowOp > 0 {
+		obs.SetSlowThreshold(*slowOp)
+		obs.SetSlowLogger(func(sp obs.SpanData) {
+			fmt.Fprintf(os.Stderr, "synserve: slow op %s %.1fms %v\n", sp.Name, sp.DurationMs, sp.Attrs)
+		})
+	}
 
 	specs, err := parseSpecs(syns)
 	if err != nil {
@@ -90,13 +103,29 @@ func main() {
 		fatal(err)
 	}
 	defer srv.Close()
+	if banner := buildBanner(); banner != "" {
+		// Per-method build histograms: the initial snapshot (and, when
+		// recovering, any synopses rebuilt from the checkpoint) has
+		// already fed them.
+		fmt.Fprintf(os.Stderr, "synserve: build timings: %s\n", banner)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(srv, serve.NewMetrics()))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "synserve: pprof enabled at http://%s/debug/pprof/\n", *addr)
+	}
 	httpSrv := &http.Server{
-		Handler:      serve.NewHandler(srv, serve.NewMetrics()),
+		Handler:      mux,
 		ReadTimeout:  *readTO,
 		WriteTimeout: *writeTO,
 	}
@@ -237,6 +266,26 @@ func parseSpecs(syns []string) ([]engine.SynopsisSpec, error) {
 		})
 	}
 	return specs, nil
+}
+
+// buildBanner condenses the per-method build histograms into one line
+// for the startup/recovery banner (e.g. "SAP0 ×1 p50=12.1ms max=12.1ms").
+func buildBanner() string {
+	var parts []string
+	obs.Default.EachHistogram("rangeagg_build_seconds", func(_ string, labels []obs.Label, snap obs.HistSnapshot) {
+		name := ""
+		for _, l := range labels {
+			if l.Key == "method" {
+				name = l.Value
+			}
+		}
+		if name == "" || snap.Count == 0 {
+			return
+		}
+		parts = append(parts, fmt.Sprintf("%s ×%d p50=%.1fms max=%.1fms",
+			name, snap.Count, snap.Quantile(0.50)*1e3, snap.MaxSeconds*1e3))
+	})
+	return strings.Join(parts, ", ")
 }
 
 func fatal(err error) {

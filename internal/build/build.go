@@ -10,13 +10,29 @@ package build
 
 import (
 	"fmt"
+	"time"
 
 	"rangeagg/internal/dp"
 	"rangeagg/internal/histogram"
 	"rangeagg/internal/method"
+	"rangeagg/internal/obs"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/reopt"
 )
+
+// buildSeconds times one whole Build per method ID
+// (rangeagg_build_seconds{method=...}); phaseSeconds splits it into the
+// construct / improve / coarsen phases
+// (rangeagg_build_phase_seconds{method,phase}). These are the per-method
+// build histograms the synserve banner and /metrics surface.
+func buildSeconds(name string) *obs.Histogram {
+	return obs.Default.Histogram("rangeagg_build_seconds", obs.L("method", name)...)
+}
+
+func phaseSeconds(name, phase string) *obs.Histogram {
+	return obs.Default.Histogram("rangeagg_build_phase_seconds",
+		obs.L("method", name, "phase", phase)...)
+}
 
 // Estimator answers approximate range-sum queries; it is the internal
 // counterpart of the facade's Synopsis interface.
@@ -115,11 +131,15 @@ func Build(counts []int64, opt Options) (Estimator, error) {
 		return nil, fmt.Errorf("build: %s needs a positive storage budget, got %d words",
 			d.Name, opt.BudgetWords)
 	}
+	defer buildSeconds(d.Name).Since(time.Now())
 	if opt.CoarsenTo > 0 && opt.CoarsenTo < len(counts) && d.Caps.Has(method.BucketBased) {
+		defer phaseSeconds(d.Name, "coarsen").Since(time.Now())
 		return buildCoarsened(counts, d, opt)
 	}
 	tab := prefix.NewTable(counts)
+	construct := time.Now()
 	est, err := d.Build(tab, counts, opt.methodOpts())
+	phaseSeconds(d.Name, "construct").Since(construct)
 	if err != nil {
 		return nil, err
 	}
@@ -133,6 +153,7 @@ func improve(tab *prefix.Table, est Estimator, opt Options) (Estimator, error) {
 	if !opt.LocalSearch && !opt.Reopt {
 		return est, nil
 	}
+	defer phaseSeconds(est.Name(), "improve").Since(time.Now())
 	avg, ok := est.(*histogram.Avg)
 	if !ok {
 		return nil, fmt.Errorf("build: local search / reopt apply to average-representation histograms, not %s", est.Name())

@@ -11,9 +11,23 @@
 package dp
 
 import (
+	"strings"
+	"time"
+
 	"rangeagg/internal/histogram"
+	"rangeagg/internal/obs"
 	"rangeagg/internal/prefix"
 )
+
+// timedSolve runs the shared layer driver under a per-kernel latency
+// histogram (rangeagg_dp_solve_seconds{kernel=...}) — the DP core is
+// where a synopsis build spends almost all of its time, so this is the
+// number the bench-regression gate and /metrics.prom watch.
+func timedSolve(kernel string, n, b int, k rowKernel) ([]int, float64, error) {
+	h := obs.Default.Histogram("rangeagg_dp_solve_seconds", obs.L("kernel", strings.ToLower(kernel))...)
+	defer h.Since(time.Now())
+	return solveLayers(n, b, k)
+}
 
 // CostFunc returns the cost of making the inclusive interval [l,r] a
 // single bucket. It must be non-negative.
@@ -24,7 +38,7 @@ type CostFunc func(l, r int) float64
 // the inlined SAP0 kernel (kernels.go) on the parallel layer driver.
 func SAP0(tab *prefix.Table, b int) (*histogram.SAP0, error) {
 	n := tab.N()
-	starts, _, err := solveLayers(n, b, sap0Kernel(tab))
+	starts, _, err := timedSolve("SAP0", n, b, sap0Kernel(tab))
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +53,7 @@ func SAP0(tab *prefix.Table, b int) (*histogram.SAP0, error) {
 // most b buckets.
 func SAP1(tab *prefix.Table, b int) (*histogram.SAP1, error) {
 	n := tab.N()
-	starts, _, err := solveLayers(n, b, sap1Kernel(tab))
+	starts, _, err := timedSolve("SAP1", n, b, sap1Kernel(tab))
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +73,7 @@ func SAP1(tab *prefix.Table, b int) (*histogram.SAP1, error) {
 // histogram; it is not optimal.
 func A0(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
 	n := tab.N()
-	starts, _, err := solveLayers(n, b, a0Kernel(tab))
+	starts, _, err := timedSolve("A0", n, b, a0Kernel(tab))
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +96,7 @@ func PrefixOpt(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Av
 		_, _, sumE2 := tab.AvgFit(l, r)
 		return sumE2
 	}
-	starts, _, err := Solve(tab.N(), b, cost)
+	starts, _, err := timedSolve("PREFIX-OPT", tab.N(), b, closureKernel(cost))
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +149,7 @@ func weightedVOpt(tab *prefix.Table, counts []int64, w []float64, b int, mode hi
 		cwa[i+1] = cwa[i] + w[i]*a
 		cwa2[i+1] = cwa2[i] + w[i]*a*a
 	}
-	starts, _, err := solveLayers(n, b, weightedKernel(cw, cwa, cwa2))
+	starts, _, err := timedSolve(label, n, b, weightedKernel(cw, cwa, cwa2))
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +209,7 @@ func SAP2(tab *prefix.Table, b int) (*histogram.SAP2, error) {
 			tab.SuffixQuadRSS(l, r)*float64(n-1-r) +
 			tab.PrefixQuadRSS(l, r)*float64(l)
 	}
-	starts, _, err := Solve(n, b, cost)
+	starts, _, err := timedSolve("SAP2", n, b, closureKernel(cost))
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 
 	"rangeagg/internal/build"
 	"rangeagg/internal/method"
+	"rangeagg/internal/obs"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/sse"
@@ -279,6 +281,10 @@ func (e *Engine) BuildSynopses(specs []SynopsisSpec) ([]*Synopsis, error) {
 	if len(specs) == 0 {
 		return nil, nil
 	}
+	_, span := obs.Start(context.Background(), "engine.build_synopses")
+	span.SetAttrInt("specs", int64(len(specs)))
+	span.SetAttr("engine", e.name)
+	defer span.End()
 	seen := make(map[string]bool, len(specs))
 	for _, sp := range specs {
 		if seen[sp.Name] {
@@ -355,6 +361,9 @@ func (e *Engine) MergeFrom(other *Engine, name string) (*Synopsis, error) {
 // the Mergeable capability. The durability layer logs exactly these
 // arguments, so replaying the record reproduces the absorption.
 func (e *Engine) AbsorbShard(name string, shardCounts []int64, metric Metric, opts build.Options, est build.Estimator) (*Synopsis, error) {
+	_, span := obs.Start(context.Background(), "engine.absorb_shard")
+	span.SetAttr("synopsis", name)
+	defer span.End()
 	if est == nil {
 		return nil, fmt.Errorf("engine: absorbing %q: nil shard estimator", name)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/obs"
 	"rangeagg/internal/sse"
 )
 
@@ -388,4 +389,27 @@ func TestBuildSynopsesBatch(t *testing.T) {
 	if out, err := e.BuildSynopses(nil); err != nil || out != nil {
 		t.Errorf("empty batch: %v %v", out, err)
 	}
+}
+
+// TestBuildSynopsesSpan checks the engine's build span reaches the
+// process tracer with its batch attributes — the piece of the
+// build→query trace the serve layer relies on for engine-driven builds.
+func TestBuildSynopsesSpan(t *testing.T) {
+	e := newLoaded(t)
+	before := obs.DefaultTracer.Recorded()
+	specs := []SynopsisSpec{
+		{Name: "traced", Metric: Count, Options: build.Options{Method: build.A0, BudgetWords: 12}},
+	}
+	if _, err := e.BuildSynopses(specs); err != nil {
+		t.Fatal(err)
+	}
+	if obs.DefaultTracer.Recorded() <= before {
+		t.Fatal("BuildSynopses recorded no span")
+	}
+	for _, sp := range obs.Recent() {
+		if sp.Name == "engine.build_synopses" && sp.Attrs["specs"] == "1" {
+			return
+		}
+	}
+	t.Fatal("no engine.build_synopses span with specs=1 in the recent ring")
 }

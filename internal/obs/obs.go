@@ -1,0 +1,350 @@
+// Package obs is the zero-dependency observability core shared by every
+// layer of this repository: lock-free fixed-bucket latency histograms and
+// counters behind a process-wide registry, lightweight span tracing with
+// an in-memory ring of recent traces and a slow-op log (trace.go), and
+// Prometheus text exposition (prom.go).
+//
+// Hot paths grab a metric handle once (a package-level var or a field)
+// and observe through it; Observe/Add are a handful of atomic operations
+// and never take a lock. Registration (Counter/Gauge/Histogram lookup)
+// takes a read lock and is meant for setup or coarse-grained call sites
+// such as a synopsis build.
+//
+// Metric names follow Prometheus conventions (`rangeagg_*_seconds`,
+// `rangeagg_*_total`); span names follow the `layer.op` convention
+// (`serve.rebuild`, `wal.checkpoint`). See DESIGN.md §6f.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key=value dimension of a metric series (e.g. method="SAP0").
+type Label struct {
+	Key, Value string
+}
+
+// L builds a label list from alternating key, value strings. It panics on
+// an odd count — labels are always programmer-supplied literals.
+func L(kv ...string) []Label {
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// labelKey canonicalizes a label set (sorted by key) into a map key.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := ""
+	for _, l := range ls {
+		key += l.Key + "\x00" + l.Value + "\x01"
+	}
+	return key
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the value to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depth, data version).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency bucket upper bounds in seconds:
+// exponential, 1µs doubling to ~67s (27 buckets plus the implicit +Inf
+// overflow). They span everything this system times, from a WAL append
+// to a coarsened million-value DP build.
+var DefBuckets = func() []float64 {
+	bounds := make([]float64, 27)
+	b := 1e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}()
+
+// Histogram is a lock-free fixed-bucket latency histogram: observations
+// land in the first bucket whose upper bound is ≥ the value, plus running
+// count, sum, and max. All methods are safe for concurrent use; Observe
+// is a bucket search over a small fixed array and four atomic adds.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds in seconds; +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// NewHistogram creates a standalone histogram with the given bucket upper
+// bounds (seconds, ascending); nil selects DefBuckets. Registry lookups
+// always use DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	s := float64(ns) / 1e9
+	// Binary search over the fixed bounds; the slice never changes, so
+	// this is lock-free.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Since observes the elapsed time from start until now — the deferred
+// one-liner form: defer h.Since(time.Now()).
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Buckets
+// are per-bucket (not cumulative) counts; Counts[len(Bounds)] is the
+// overflow bucket.
+type HistSnapshot struct {
+	Bounds     []float64
+	Counts     []int64
+	Count      int64
+	SumSeconds float64
+	MaxSeconds float64
+}
+
+// Snapshot copies the histogram's current state. Concurrent observers may
+// land between the atomic reads, so Count can differ from ΣCounts by the
+// few observations in flight; fine for monitoring.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds:     h.bounds,
+		Counts:     make([]int64, len(h.buckets)),
+		Count:      h.count.Load(),
+		SumSeconds: float64(h.sumNs.Load()) / 1e9,
+		MaxSeconds: float64(h.maxNs.Load()) / 1e9,
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) in seconds by linear
+// interpolation inside the bucket holding the target rank; the overflow
+// bucket answers with the observed maximum. Returns 0 for an empty
+// histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(s.Bounds) { // overflow bucket
+			return s.MaxSeconds
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if hi > s.MaxSeconds && s.MaxSeconds > lo {
+			hi = s.MaxSeconds // never report past the observed max
+		}
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+	}
+	return s.MaxSeconds
+}
+
+// Mean returns the mean observation in seconds (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumSeconds / float64(s.Count)
+}
+
+// Registry is a named collection of metric series. The zero value is not
+// usable; use NewRegistry. A name holds exactly one metric kind — looking
+// it up as another kind panics (it would make the exposition emit two
+// conflicting TYPE lines).
+type Registry struct {
+	mu      sync.RWMutex
+	series  map[string]*series // keyed by name + canonical labels
+	ordered []*series          // registration order; sorted at exposition
+}
+
+type series struct {
+	name   string
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+func (s *series) kind() string {
+	switch {
+	case s.c != nil:
+		return "counter"
+	case s.g != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Default is the process-wide registry every instrumented layer records
+// into. Tests that need isolation create their own with NewRegistry.
+var Default = NewRegistry()
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// lookup returns the series for (name, labels), creating it via mk on
+// first use and verifying the kind otherwise.
+func (r *Registry) lookup(name string, labels []Label, kind string, mk func(*series)) *series {
+	key := name + "\x02" + labelKey(labels)
+	r.mu.RLock()
+	s, ok := r.series[key]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if s, ok = r.series[key]; !ok {
+			s = &series{name: name, labels: append([]Label(nil), labels...)}
+			mk(s)
+			r.series[key] = s
+			r.ordered = append(r.ordered, s)
+		}
+		r.mu.Unlock()
+	}
+	if s.kind() != kind {
+		panic(fmt.Sprintf("obs: metric %q is a %s, requested as %s", name, s.kind(), kind))
+	}
+	return s
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, "counter", func(s *series) { s.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, labels, "gauge", func(s *series) { s.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram registered under (name, labels), with
+// the default latency buckets.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.lookup(name, labels, "histogram", func(s *series) { s.h = NewHistogram(nil) }).h
+}
+
+// sorted returns every series ordered by (name, canonical labels) — the
+// deterministic iteration the exposition and JSON summaries use.
+func (r *Registry) sorted() []*series {
+	r.mu.RLock()
+	out := append([]*series(nil), r.ordered...)
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return labelKey(out[i].labels) < labelKey(out[j].labels)
+	})
+	return out
+}
+
+// EachHistogram calls fn for every histogram series whose name matches
+// (empty name = all), in deterministic order.
+func (r *Registry) EachHistogram(name string, fn func(name string, labels []Label, snap HistSnapshot)) {
+	for _, s := range r.sorted() {
+		if s.h == nil || (name != "" && s.name != name) {
+			continue
+		}
+		fn(s.name, s.labels, s.h.Snapshot())
+	}
+}
+
+// EachCounter calls fn for every counter series whose name matches
+// (empty name = all), in deterministic order.
+func (r *Registry) EachCounter(name string, fn func(name string, labels []Label, value int64)) {
+	for _, s := range r.sorted() {
+		if s.c == nil || (name != "" && s.name != name) {
+			continue
+		}
+		fn(s.name, s.labels, s.c.Value())
+	}
+}

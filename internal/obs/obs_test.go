@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+
+	// An observation exactly on a bound lands in that bound's bucket
+	// (bounds are inclusive upper limits, matching Prometheus `le`).
+	h.Observe(1 * time.Millisecond)   // == bounds[0]
+	h.Observe(500 * time.Microsecond) // < bounds[0]
+	h.Observe(5 * time.Millisecond)   // (bounds[0], bounds[1]]
+	h.Observe(50 * time.Millisecond)  // (bounds[1], bounds[2]]
+	h.Observe(2 * time.Second)        // overflow
+	h.Observe(-1 * time.Second)       // clamped to 0, first bucket
+
+	snap := h.Snapshot()
+	want := []int64{3, 1, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 6 {
+		t.Errorf("count = %d, want 6", snap.Count)
+	}
+	if snap.MaxSeconds != 2 {
+		t.Errorf("max = %g, want 2", snap.MaxSeconds)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+
+	// 100 observations spread 1..100ms: quantiles should land in the
+	// right order of magnitude despite bucketing.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	snap := h.Snapshot()
+	p50 := snap.Quantile(0.50)
+	p99 := snap.Quantile(0.99)
+	if p50 < 0.02 || p50 > 0.07 {
+		t.Errorf("p50 = %gs, want ~0.05s", p50)
+	}
+	if p99 < 0.06 || p99 > 0.1 {
+		t.Errorf("p99 = %gs, want ~0.099s", p99)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %g < p50 %g", p99, p50)
+	}
+	// Quantiles never exceed the observed maximum.
+	if q := snap.Quantile(1.0); q > snap.MaxSeconds {
+		t.Errorf("p100 = %g beyond max %g", q, snap.MaxSeconds)
+	}
+	if mean := snap.Mean(); mean < 0.04 || mean > 0.06 {
+		t.Errorf("mean = %gs, want ~0.0505s", mean)
+	}
+}
+
+func TestHistogramOverflowQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001})
+	h.Observe(5 * time.Second)
+	if got := h.Snapshot().Quantile(0.5); got != 5 {
+		t.Errorf("overflow quantile = %g, want the observed max 5", got)
+	}
+}
+
+func TestNewHistogramPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{0.1, 0.1})
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("requests_total", L("endpoint", "query")...)
+	c2 := r.Counter("requests_total", L("endpoint", "query")...)
+	if c1 != c2 {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	if c3 := r.Counter("requests_total", L("endpoint", "health")...); c3 == c1 {
+		t.Error("different labels returned the same counter")
+	}
+	// Label order does not create a new series.
+	h1 := r.Histogram("latency_seconds", L("a", "1", "b", "2")...)
+	h2 := r.Histogram("latency_seconds", L("b", "2", "a", "1")...)
+	if h1 != h2 {
+		t.Error("label order created a second series")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("widgets_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Histogram("widgets_total")
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared_total").Inc()
+				r.Histogram("shared_seconds", L("worker", string(rune('a'+g)))...).Observe(time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8*200 {
+		t.Errorf("counter = %d, want 1600", got)
+	}
+	series := 0
+	r.EachHistogram("shared_seconds", func(_ string, _ []Label, snap HistSnapshot) {
+		series++
+		if snap.Count != 200 {
+			t.Errorf("histogram count = %d, want 200", snap.Count)
+		}
+	})
+	if series != 8 {
+		t.Errorf("series = %d, want 8", series)
+	}
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rangeagg_test_requests_total", L("endpoint", "query")...).Add(3)
+	r.Counter("rangeagg_test_requests_total", L("endpoint", "health")...).Inc()
+	r.Gauge("rangeagg_test_version").Set(42)
+	h := r.Histogram("rangeagg_test_seconds", L("op", `odd"label\with`+"\n"+`breaks`)...)
+	h.Observe(1500 * time.Nanosecond) // second bucket (le 2e-06)
+	h.Observe(3 * time.Microsecond)   // third bucket (le 4e-06)
+
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	want := `# TYPE rangeagg_test_requests_total counter
+rangeagg_test_requests_total{endpoint="health"} 1
+rangeagg_test_requests_total{endpoint="query"} 3
+# TYPE rangeagg_test_seconds histogram
+rangeagg_test_seconds_bucket{op="odd\"label\\with\nbreaks",le="1e-06"} 0
+rangeagg_test_seconds_bucket{op="odd\"label\\with\nbreaks",le="2e-06"} 1
+rangeagg_test_seconds_bucket{op="odd\"label\\with\nbreaks",le="4e-06"} 2
+`
+	if !strings.HasPrefix(got, want) {
+		t.Errorf("exposition prefix mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	for _, line := range []string{
+		`rangeagg_test_seconds_bucket{op="odd\"label\\with\nbreaks",le="+Inf"} 2`,
+		"rangeagg_test_seconds_count{op=", // count present with labels
+		"# TYPE rangeagg_test_version gauge",
+		"rangeagg_test_version 42",
+	} {
+		if !strings.Contains(got, line) {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+	// Exactly one TYPE line per family even with several series.
+	if n := strings.Count(got, "# TYPE rangeagg_test_requests_total"); n != 1 {
+		t.Errorf("TYPE lines for requests_total = %d, want 1", n)
+	}
+	// The sum line carries the seconds total.
+	if !strings.Contains(got, "rangeagg_test_seconds_sum{") {
+		t.Errorf("missing _sum:\n%s", got)
+	}
+}
+
+func TestWriteTextMergesRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("zz_total").Inc()
+	b.Counter("aa_total").Add(2)
+	var sb strings.Builder
+	if err := WriteText(&sb, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	ia, iz := strings.Index(got, "aa_total"), strings.Index(got, "zz_total")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Errorf("merged output not sorted across registries:\n%s", got)
+	}
+}
+
+func TestLPanicsOnOddCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on odd label list")
+		}
+	}()
+	L("just-a-key")
+}

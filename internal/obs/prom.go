@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes every series of the given registries in the
+// Prometheus text exposition format (version 0.0.4), merged and sorted
+// by metric name so the output is deterministic. Histograms are written
+// with cumulative `le` buckets plus `_sum` and `_count`; counters and
+// gauges as single samples. Later registries win nothing — series are
+// emitted per registry; callers pass disjoint registries (e.g. a
+// handler's endpoint registry plus the process Default).
+func WriteText(w io.Writer, regs ...*Registry) error {
+	bw := bufio.NewWriter(w)
+	all := make([]*series, 0, 64)
+	for _, r := range regs {
+		if r != nil {
+			all = append(all, r.sorted()...)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return labelKey(all[i].labels) < labelKey(all[j].labels)
+	})
+	lastName := ""
+	for _, s := range all {
+		if s.name != lastName {
+			bw.WriteString("# TYPE ")
+			bw.WriteString(s.name)
+			bw.WriteString(" ")
+			bw.WriteString(s.kind())
+			bw.WriteString("\n")
+			lastName = s.name
+		}
+		switch {
+		case s.c != nil:
+			writeSample(bw, s.name, s.labels, "", "", float64(s.c.Value()))
+		case s.g != nil:
+			writeSample(bw, s.name, s.labels, "", "", float64(s.g.Value()))
+		case s.h != nil:
+			snap := s.h.Snapshot()
+			var cum int64
+			for i, b := range snap.Bounds {
+				cum += snap.Counts[i]
+				writeSample(bw, s.name+"_bucket", s.labels, "le", formatFloat(b), float64(cum))
+			}
+			cum += snap.Counts[len(snap.Bounds)]
+			writeSample(bw, s.name+"_bucket", s.labels, "le", "+Inf", float64(cum))
+			writeSample(bw, s.name+"_sum", s.labels, "", "", snap.SumSeconds)
+			writeSample(bw, s.name+"_count", s.labels, "", "", float64(cum))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample writes one `name{labels} value` line, appending the extra
+// (key, value) label when key is non-empty (the histogram `le` label).
+func writeSample(bw *bufio.Writer, name string, labels []Label, extraKey, extraVal string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		bw.WriteString("{")
+		first := true
+		for _, l := range labels {
+			if !first {
+				bw.WriteString(",")
+			}
+			first = false
+			bw.WriteString(l.Key)
+			bw.WriteString("=\"")
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteString("\"")
+		}
+		if extraKey != "" {
+			if !first {
+				bw.WriteString(",")
+			}
+			bw.WriteString(extraKey)
+			bw.WriteString("=\"")
+			bw.WriteString(escapeLabel(extraVal))
+			bw.WriteString("\"")
+		}
+		bw.WriteString("}")
+	}
+	bw.WriteString(" ")
+	bw.WriteString(formatFloat(v))
+	bw.WriteString("\n")
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

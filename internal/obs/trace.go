@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is one completed span as recorded in the trace ring (and
+// served by GET /trace). All durations are wall-clock.
+type SpanData struct {
+	Name       string            `json:"name"`
+	TraceID    string            `json:"trace"`
+	SpanID     string            `json:"span"`
+	ParentID   string            `json:"parent,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationMs float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight timed operation. Create with Start, optionally
+// annotate with SetAttr, and End exactly once. A nil *Span is inert, so
+// callers never need to nil-check.
+type Span struct {
+	tracer  *Tracer
+	name    string
+	trace   uint64
+	id      uint64
+	parent  uint64
+	start   time.Time
+	mu      sync.Mutex
+	attrs   map[string]string
+	ended   bool
+	endHook func(d time.Duration)
+}
+
+type ctxKey struct{}
+
+// Tracer records completed spans into a fixed ring buffer (newest
+// overwrite oldest) and mirrors spans at or above a configurable
+// threshold into a separate slow-op ring plus an optional log function.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanData
+	next  int
+	total int
+
+	slowRing  []SpanData
+	slowNext  int
+	slowTotal int
+
+	slowNanos atomic.Int64
+	slowLog   atomic.Pointer[func(SpanData)]
+
+	ids atomic.Uint64
+}
+
+// DefaultTracer is the process-wide tracer behind the package-level Start
+// and the /trace endpoint. 256 recent spans cover a full
+// build→checkpoint→query cycle with room to spare.
+var DefaultTracer = NewTracer(256)
+
+// NewTracer creates a tracer keeping the given number of recent spans
+// (and half as many slow ops, at least 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	slowCap := capacity / 2
+	if slowCap < 16 {
+		slowCap = 16
+	}
+	t := &Tracer{ring: make([]SpanData, capacity), slowRing: make([]SpanData, slowCap)}
+	// Seed the ID space per tracer so concurrent processes don't collide
+	// in merged trace views.
+	t.ids.Store(uint64(time.Now().UnixNano()) << 16)
+	return t
+}
+
+// SetSlowThreshold sets the duration at or above which a completed span
+// is mirrored into the slow-op ring and passed to the slow-op logger.
+// Zero (the default) disables slow-op capture.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNanos.Store(d.Nanoseconds()) }
+
+// SetSlowLogger installs fn to be called (synchronously, outside the
+// ring lock) for every slow span; nil removes it.
+func (t *Tracer) SetSlowLogger(fn func(SpanData)) {
+	if fn == nil {
+		t.slowLog.Store(nil)
+		return
+	}
+	t.slowLog.Store(&fn)
+}
+
+// Start begins a span under the tracer. The returned context carries the
+// span, so nested Start calls build a parent→child chain; the span must
+// be ended exactly once.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{tracer: t, name: name, id: t.ids.Add(1), start: time.Now()}
+	if parent, ok := ctx.Value(ctxKey{}).(*Span); ok && parent != nil {
+		s.trace, s.parent = parent.trace, parent.id
+	} else {
+		s.trace = s.id
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// Start begins a span under the default tracer.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return DefaultTracer.Start(ctx, name)
+}
+
+// SetAttr attaches (or replaces) a string attribute on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer attribute on the span.
+func (s *Span) SetAttrInt(key string, value int64) {
+	s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// OnEnd registers fn to run with the span's duration when it ends —
+// the hook that feeds a latency histogram from a span without timing
+// the operation twice.
+func (s *Span) OnEnd(fn func(d time.Duration)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.endHook = fn
+	s.mu.Unlock()
+}
+
+// Duration returns the span's elapsed time so far (or its final duration
+// after End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// End completes the span and records it in the tracer's ring. Later End
+// calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	hook := s.endHook
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	data := SpanData{
+		Name:       s.name,
+		TraceID:    fmt.Sprintf("%016x", s.trace),
+		SpanID:     fmt.Sprintf("%016x", s.id),
+		Start:      s.start,
+		DurationMs: float64(d.Nanoseconds()) / 1e6,
+	}
+	if s.parent != 0 {
+		data.ParentID = fmt.Sprintf("%016x", s.parent)
+	}
+	if len(attrs) > 0 {
+		data.Attrs = make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			data.Attrs[k] = v
+		}
+	}
+	s.tracer.record(data, d)
+	if hook != nil {
+		hook(d)
+	}
+}
+
+func (t *Tracer) record(data SpanData, d time.Duration) {
+	slow := t.slowNanos.Load()
+	isSlow := slow > 0 && d.Nanoseconds() >= slow
+	t.mu.Lock()
+	t.ring[t.next] = data
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	if isSlow {
+		t.slowRing[t.slowNext] = data
+		t.slowNext = (t.slowNext + 1) % len(t.slowRing)
+		t.slowTotal++
+	}
+	t.mu.Unlock()
+	if isSlow {
+		if fn := t.slowLog.Load(); fn != nil {
+			(*fn)(data)
+		}
+	}
+}
+
+func copyRing(ring []SpanData, next, total int) []SpanData {
+	n := total
+	if n > len(ring) {
+		n = len(ring)
+	}
+	out := make([]SpanData, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recent entry: newest first.
+		idx := (next - 1 - i + 2*len(ring)) % len(ring)
+		out = append(out, ring[idx])
+	}
+	return out
+}
+
+// Recent returns the recorded spans, newest first.
+func (t *Tracer) Recent() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyRing(t.ring, t.next, t.total)
+}
+
+// SlowOps returns the spans that crossed the slow threshold, newest
+// first.
+func (t *Tracer) SlowOps() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyRing(t.slowRing, t.slowNext, t.slowTotal)
+}
+
+// Recorded returns how many spans have ever completed under the tracer.
+func (t *Tracer) Recorded() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns the default tracer's recorded spans, newest first.
+func Recent() []SpanData { return DefaultTracer.Recent() }
+
+// SlowOps returns the default tracer's slow spans, newest first.
+func SlowOps() []SpanData { return DefaultTracer.SlowOps() }
+
+// SetSlowThreshold configures the default tracer's slow-op threshold.
+func SetSlowThreshold(d time.Duration) { DefaultTracer.SetSlowThreshold(d) }
+
+// SetSlowLogger configures the default tracer's slow-op logger.
+func SetSlowLogger(fn func(SpanData)) { DefaultTracer.SetSlowLogger(fn) }

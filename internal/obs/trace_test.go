@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentChaining(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.Start(context.Background(), "serve.rebuild")
+	_, child := tr.Start(ctx, "engine.build_synopses")
+	child.SetAttr("method", "SAP0")
+	child.SetAttrInt("specs", 2)
+	child.End()
+	root.End()
+
+	spans := tr.Recent()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	// Newest first: root ended last.
+	if spans[0].Name != "serve.rebuild" || spans[1].Name != "engine.build_synopses" {
+		t.Fatalf("order = %s, %s; want serve.rebuild, engine.build_synopses", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].ParentID != spans[0].SpanID {
+		t.Errorf("child parent %q != root span %q", spans[1].ParentID, spans[0].SpanID)
+	}
+	if spans[1].TraceID != spans[0].TraceID {
+		t.Errorf("child trace %q != root trace %q", spans[1].TraceID, spans[0].TraceID)
+	}
+	if spans[0].ParentID != "" {
+		t.Errorf("root has parent %q", spans[0].ParentID)
+	}
+	if spans[1].Attrs["method"] != "SAP0" || spans[1].Attrs["specs"] != "2" {
+		t.Errorf("child attrs = %v", spans[1].Attrs)
+	}
+}
+
+func TestSpanNilAndDoubleEndSafe(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v") // must not panic
+	s.OnEnd(func(time.Duration) {})
+	s.End()
+	if s.Duration() != 0 {
+		t.Error("nil span has nonzero duration")
+	}
+
+	tr := NewTracer(4)
+	_, sp := tr.Start(context.Background(), "x")
+	ends := 0
+	sp.OnEnd(func(time.Duration) { ends++ })
+	sp.End()
+	sp.End()
+	if ends != 1 {
+		t.Errorf("end hook ran %d times, want 1", ends)
+	}
+	if tr.Recorded() != 1 {
+		t.Errorf("recorded %d spans, want 1", tr.Recorded())
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(context.Background(), fmt.Sprintf("op%d", i))
+		sp.End()
+	}
+	spans := tr.Recent()
+	if len(spans) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(spans))
+	}
+	for i, want := range []string{"op9", "op8", "op7", "op6"} {
+		if spans[i].Name != want {
+			t.Errorf("spans[%d] = %s, want %s (newest first)", i, spans[i].Name, want)
+		}
+	}
+	if tr.Recorded() != 10 {
+		t.Errorf("recorded = %d, want 10", tr.Recorded())
+	}
+}
+
+func TestSlowOpCaptureAndLogger(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSlowThreshold(time.Nanosecond) // everything is slow
+	var mu sync.Mutex
+	var logged []string
+	tr.SetSlowLogger(func(sp SpanData) {
+		mu.Lock()
+		logged = append(logged, sp.Name)
+		mu.Unlock()
+	})
+	_, sp := tr.Start(context.Background(), "wal.checkpoint")
+	sp.End()
+
+	if slow := tr.SlowOps(); len(slow) != 1 || slow[0].Name != "wal.checkpoint" {
+		t.Fatalf("slow ops = %v", slow)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 1 || logged[0] != "wal.checkpoint" {
+		t.Fatalf("logged = %v", logged)
+	}
+}
+
+func TestSlowOpThresholdFilters(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSlowThreshold(time.Hour) // nothing is slow
+	_, sp := tr.Start(context.Background(), "fast")
+	sp.End()
+	if slow := tr.SlowOps(); len(slow) != 0 {
+		t.Fatalf("slow ops = %v, want none", slow)
+	}
+	// Zero threshold disables capture entirely.
+	tr.SetSlowThreshold(0)
+	_, sp = tr.Start(context.Background(), "untracked")
+	sp.End()
+	if slow := tr.SlowOps(); len(slow) != 0 {
+		t.Fatalf("slow ops with zero threshold = %v, want none", slow)
+	}
+}
+
+// TestConcurrentSpanRecording exercises the tracer from many goroutines
+// (run under -race in CI): concurrent Start/SetAttr/End against one
+// tracer, with a slow logger installed, must be data-race free and lose
+// no completed spans.
+func TestConcurrentSpanRecording(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetSlowThreshold(time.Nanosecond)
+	tr.SetSlowLogger(func(SpanData) {})
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctx, root := tr.Start(context.Background(), "outer")
+				root.SetAttrInt("g", int64(g))
+				_, child := tr.Start(ctx, "inner")
+				child.SetAttr("i", fmt.Sprint(i))
+				child.End()
+				root.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := tr.Recorded(), goroutines*perG*2; got != want {
+		t.Errorf("recorded %d spans, want %d", got, want)
+	}
+	if got := len(tr.Recent()); got != 64 {
+		t.Errorf("ring holds %d, want full 64", got)
+	}
+}
+
+func TestOnEndFeedsHistogram(t *testing.T) {
+	tr := NewTracer(4)
+	h := NewHistogram(nil)
+	_, sp := tr.Start(context.Background(), "timed")
+	sp.OnEnd(h.Observe)
+	sp.End()
+	if h.Count() != 1 {
+		t.Errorf("histogram count = %d, want 1 observation from span end", h.Count())
+	}
+}

@@ -22,6 +22,18 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"rangeagg/internal/obs"
+)
+
+// Pool fan-out counters: how many parallel regions ran, how many of them
+// had to run fully inline (pool exhausted or single-worker), and how many
+// extra worker goroutines were spawned in total. Handles are resolved
+// once; observing is one atomic add per region, off the per-chunk path.
+var (
+	poolRegions = obs.Default.Counter("rangeagg_pool_regions_total")
+	poolInline  = obs.Default.Counter("rangeagg_pool_inline_total")
+	poolWorkers = obs.Default.Counter("rangeagg_pool_workers_total")
 )
 
 // maxWorkers is the configured concurrency width (≥ 1).
@@ -102,21 +114,30 @@ func ForEachChunk(n, grain int, fn func(lo, hi int)) {
 			fn(lo, hi)
 		}
 	}
+	poolRegions.Inc()
 	if want <= 1 {
+		poolInline.Inc()
 		drain()
 		return
 	}
 	var wg sync.WaitGroup
+	spawned := 0
 	for i := 1; i < want; i++ {
 		if !tryAcquire() {
 			break
 		}
+		spawned++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer release()
 			drain()
 		}()
+	}
+	if spawned == 0 {
+		poolInline.Inc()
+	} else {
+		poolWorkers.Add(int64(spawned))
 	}
 	drain()
 	wg.Wait()

@@ -11,6 +11,7 @@ import (
 	"rangeagg/internal/codec"
 	"rangeagg/internal/engine"
 	"rangeagg/internal/method"
+	"rangeagg/internal/obs"
 )
 
 // NewHandler exposes a Server over HTTP/JSON:
@@ -23,7 +24,12 @@ import (
 //	POST /rebuild           force a snapshot rebuild now
 //	GET  /synopsis          ?name= — synopsis in the synquery wire format
 //	POST /synopsis/merge    ?name= — merge a shard's synopsis (wire format body)
-//	GET  /metrics           per-endpoint request/error/latency counters
+//	GET  /metrics           per-endpoint request/error/latency stats (JSON,
+//	                        with p50/p95/p99), per-method build timings,
+//	                        and the durability gauges when WAL-backed
+//	GET  /metrics.prom      the same plus every process-wide obs series in
+//	                        Prometheus text exposition format
+//	GET  /trace             recent obs spans (newest first) and slow ops
 //
 // Every response is JSON; errors are {"error": "..."} with an HTTP status.
 // All observations land in m (which may be shared with other handlers).
@@ -195,6 +201,11 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 		for name, ep := range m.Snapshot() {
 			resp[name] = ep
 		}
+		if builds := buildSummary(); len(builds) > 0 {
+			// Per-method synopsis build histograms (process-wide): how
+			// long each family's builds take across all rebuilds so far.
+			resp["builds"] = builds
+		}
 		if s.cfg.WAL != nil {
 			// Durability gauges: log traffic, fsync work, checkpoint
 			// freshness, and the records replayed at startup.
@@ -204,7 +215,59 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 		return 0, nil
 	})
 
+	handle("/metrics.prom", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The handler's endpoint series plus every process-wide series
+		// (build phases, DP kernels, WAL durability, pool fan-out).
+		if err := obs.WriteText(w, m.Registry(), obs.Default); err != nil {
+			return http.StatusInternalServerError, err
+		}
+		return 0, nil
+	})
+
+	handle("/trace", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"spans":    obs.Recent(),
+			"slow_ops": obs.SlowOps(),
+		})
+		return 0, nil
+	})
+
 	return mux
+}
+
+// BuildStats is the /metrics "builds" entry for one synopsis method.
+type BuildStats struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// buildSummary condenses the per-method build histograms recorded by
+// internal/build into method → quantile stats.
+func buildSummary() map[string]BuildStats {
+	out := make(map[string]BuildStats)
+	obs.Default.EachHistogram("rangeagg_build_seconds", func(name string, labels []obs.Label, snap obs.HistSnapshot) {
+		methodName := ""
+		for _, l := range labels {
+			if l.Key == "method" {
+				methodName = l.Value
+			}
+		}
+		if methodName == "" || snap.Count == 0 {
+			return
+		}
+		out[methodName] = BuildStats{
+			Count: snap.Count,
+			P50Ms: snap.Quantile(0.50) * 1e3,
+			P95Ms: snap.Quantile(0.95) * 1e3,
+			P99Ms: snap.Quantile(0.99) * 1e3,
+			MaxMs: snap.MaxSeconds * 1e3,
+		}
+	})
+	return out
 }
 
 func queryFromURL(r *http.Request) (Query, error) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -363,5 +364,106 @@ func TestHandlerDurabilityMetrics(t *testing.T) {
 	_, _, plain := newTestHandler(t)
 	if _, ok := getJSON(t, plain.URL+"/metrics", http.StatusOK)["durability"]; ok {
 		t.Fatal("non-durable server reports durability gauges")
+	}
+}
+
+// TestHandlerObservabilityEndpoints drives a build→checkpoint→query
+// cycle against a WAL-backed server and checks the three observability
+// surfaces: /metrics latency quantiles, /metrics.prom Prometheus text,
+// and /trace span coverage.
+func TestHandlerObservabilityEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := wal.Open(dir, wal.Options{Domain: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s, err := New(db.Engine(), testSpecs(), Config{WAL: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	ts := httptest.NewServer(NewHandler(s, m))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	// Build (rebuild), checkpoint, and query so spans and histograms of
+	// every layer exist.
+	postJSON(t, ts.URL+"/ingest", map[string]any{
+		"inserts": []map[string]any{{"value": 3, "count": 5}},
+	}, http.StatusOK)
+	postJSON(t, ts.URL+"/rebuild", nil, http.StatusOK)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		getJSON(t, ts.URL+"/query?a=0&b=10", http.StatusOK)
+	}
+	postJSON(t, ts.URL+"/query/batch",
+		map[string]any{"ranges": [][2]int{{0, 5}, {6, 20}}}, http.StatusOK)
+
+	// /metrics JSON: endpoint stats now carry latency quantiles, and the
+	// per-method build block reports the synopsis constructions.
+	stats := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	query := stats["query"].(map[string]any)
+	for _, k := range []string{"p50_ms", "p95_ms", "p99_ms", "max_ms", "mean_ms"} {
+		if _, ok := query[k].(float64); !ok {
+			t.Fatalf("query stats missing %s: %v", k, query)
+		}
+	}
+	if query["p50_ms"].(float64) > query["p99_ms"].(float64) {
+		t.Fatalf("p50 > p99: %v", query)
+	}
+	builds, ok := stats["builds"].(map[string]any)
+	if !ok || len(builds) == 0 {
+		t.Fatalf("no builds block in /metrics: %v", stats)
+	}
+
+	// /metrics.prom: Prometheus text with per-endpoint latency histogram
+	// series and the process-wide build-phase and WAL series.
+	resp, err := http.Get(ts.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	prom := string(raw)
+	for _, want := range []string{
+		"# TYPE rangeagg_http_request_seconds histogram",
+		`rangeagg_http_request_seconds_bucket{endpoint="query",le="+Inf"}`,
+		`rangeagg_http_requests_total{endpoint="query"} 5`,
+		"# TYPE rangeagg_build_seconds histogram",
+		"rangeagg_build_phase_seconds_bucket",
+		"rangeagg_wal_append_seconds_count",
+		"rangeagg_serve_rebuild_seconds_count",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics.prom missing %q", want)
+		}
+	}
+
+	// /trace: recent spans cover the whole build→checkpoint→query cycle
+	// (plus the WAL recovery from opening the data dir).
+	trace := getJSON(t, ts.URL+"/trace", http.StatusOK)
+	spans, ok := trace["spans"].([]any)
+	if !ok {
+		t.Fatalf("no spans in /trace: %v", trace)
+	}
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		seen[sp.(map[string]any)["name"].(string)] = true
+	}
+	for _, want := range []string{"serve.rebuild", "wal.recover", "wal.checkpoint", "serve.query_batch"} {
+		if !seen[want] {
+			t.Errorf("/trace missing span %q (saw %v)", want, seen)
+		}
+	}
+	if _, ok := trace["slow_ops"]; !ok {
+		t.Error("/trace missing slow_ops")
 	}
 }

@@ -2,59 +2,63 @@ package serve
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"rangeagg/internal/obs"
 )
 
-// EndpointStats aggregates one endpoint's traffic.
-type EndpointStats struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	nanos    atomic.Int64
-	maxNanos atomic.Int64
+// endpointHandles are one endpoint's metric handles, resolved once per
+// endpoint so the per-request path is a few atomic operations.
+type endpointHandles struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 }
 
-func (e *EndpointStats) observe(d time.Duration, failed bool) {
-	e.requests.Add(1)
-	if failed {
-		e.errors.Add(1)
-	}
-	n := d.Nanoseconds()
-	e.nanos.Add(n)
-	for {
-		cur := e.maxNanos.Load()
-		if n <= cur || e.maxNanos.CompareAndSwap(cur, n) {
-			return
-		}
-	}
-}
-
-// EndpointSnapshot is the exported view of one endpoint's stats.
+// EndpointSnapshot is the exported view of one endpoint's stats: request
+// and error counts plus the latency distribution (quantiles from the obs
+// fixed-bucket histogram, not a running mean alone).
 type EndpointSnapshot struct {
 	Requests int64   `json:"requests"`
 	Errors   int64   `json:"errors"`
 	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 	MaxMs    float64 `json:"max_ms"`
 }
 
-// Metrics tracks per-endpoint request counts, error counts, and latency.
-// It is safe for concurrent use.
+// Metrics tracks per-endpoint request counts, error counts, and latency
+// histograms. Each Metrics owns its own obs.Registry, so concurrent
+// handlers (and tests) never share endpoint series; the registry is
+// exposed for the Prometheus endpoint to merge with the process-wide
+// obs.Default. It is safe for concurrent use.
 type Metrics struct {
+	reg       *obs.Registry
 	mu        sync.Mutex
-	endpoints map[string]*EndpointStats
+	endpoints map[string]*endpointHandles
 }
 
 // NewMetrics creates an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*EndpointStats)}
+	return &Metrics{reg: obs.NewRegistry(), endpoints: make(map[string]*endpointHandles)}
 }
 
-func (m *Metrics) endpoint(name string) *EndpointStats {
+// Registry exposes the underlying obs registry (for Prometheus
+// exposition alongside obs.Default).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+func (m *Metrics) endpoint(name string) *endpointHandles {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e, ok := m.endpoints[name]
 	if !ok {
-		e = &EndpointStats{}
+		labels := obs.L("endpoint", name)
+		e = &endpointHandles{
+			requests: m.reg.Counter("rangeagg_http_requests_total", labels...),
+			errors:   m.reg.Counter("rangeagg_http_errors_total", labels...),
+			latency:  m.reg.Histogram("rangeagg_http_request_seconds", labels...),
+		}
 		m.endpoints[name] = e
 	}
 	return e
@@ -62,25 +66,36 @@ func (m *Metrics) endpoint(name string) *EndpointStats {
 
 // Observe records one request against an endpoint.
 func (m *Metrics) Observe(endpoint string, d time.Duration, failed bool) {
-	m.endpoint(endpoint).observe(d, failed)
+	e := m.endpoint(endpoint)
+	e.requests.Inc()
+	if failed {
+		e.errors.Inc()
+	}
+	e.latency.Observe(d)
 }
 
 // Snapshot exports every endpoint's current stats.
 func (m *Metrics) Snapshot() map[string]EndpointSnapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]EndpointSnapshot, len(m.endpoints))
+	names := make([]string, 0, len(m.endpoints))
+	handles := make([]*endpointHandles, 0, len(m.endpoints))
 	for name, e := range m.endpoints {
-		req := e.requests.Load()
-		s := EndpointSnapshot{
-			Requests: req,
-			Errors:   e.errors.Load(),
-			MaxMs:    float64(e.maxNanos.Load()) / 1e6,
+		names = append(names, name)
+		handles = append(handles, e)
+	}
+	m.mu.Unlock()
+	out := make(map[string]EndpointSnapshot, len(names))
+	for i, e := range handles {
+		h := e.latency.Snapshot()
+		out[names[i]] = EndpointSnapshot{
+			Requests: e.requests.Value(),
+			Errors:   e.errors.Value(),
+			MeanMs:   h.Mean() * 1e3,
+			P50Ms:    h.Quantile(0.50) * 1e3,
+			P95Ms:    h.Quantile(0.95) * 1e3,
+			P99Ms:    h.Quantile(0.99) * 1e3,
+			MaxMs:    h.MaxSeconds * 1e3,
 		}
-		if req > 0 {
-			s.MeanMs = float64(e.nanos.Load()) / float64(req) / 1e6
-		}
-		out[name] = s
 	}
 	return out
 }

@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,9 +18,21 @@ import (
 	"rangeagg/internal/build"
 	"rangeagg/internal/engine"
 	"rangeagg/internal/method"
+	"rangeagg/internal/obs"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/wal"
+)
+
+// Serving-layer metrics (process-wide): snapshot rebuild latency and
+// swap count, the published data version, and per-batch query latency.
+// Endpoint-level HTTP latency lives in Metrics (metrics.go) instead, so
+// each handler keeps its own registry.
+var (
+	rebuildSeconds    = obs.Default.Histogram("rangeagg_serve_rebuild_seconds")
+	queryBatchSeconds = obs.Default.Histogram("rangeagg_serve_query_batch_seconds")
+	snapshotSwaps     = obs.Default.Counter("rangeagg_serve_snapshot_swaps_total")
+	snapshotVersion   = obs.Default.Gauge("rangeagg_serve_snapshot_version")
 )
 
 // Config tunes the server; zero values select the defaults.
@@ -334,6 +347,10 @@ func (s *Server) Query(q Query) (float64, error) {
 // the results), so concurrent rebuilds can never tear a batch. Large
 // batches fan out over the shared worker pool.
 func (s *Server) QueryBatch(qs []Query) ([]Result, int64) {
+	_, span := obs.Start(context.Background(), "serve.query_batch")
+	span.SetAttrInt("queries", int64(len(qs)))
+	span.OnEnd(queryBatchSeconds.Observe)
+	defer span.End()
 	snap := s.snap.Load()
 	out := make([]Result, len(qs))
 	answer := func(lo, hi int) {
@@ -359,12 +376,16 @@ func (s *Server) QueryBatch(qs []Query) ([]Result, int64) {
 // the worker pool — and atomically swaps it in. On failure the previous
 // snapshot keeps serving and the error is retained for LastError.
 func (s *Server) Rebuild() error {
+	_, span := obs.Start(context.Background(), "serve.rebuild")
+	span.OnEnd(rebuildSeconds.Observe)
+	defer span.End()
 	s.rebuildMu.Lock()
 	defer s.rebuildMu.Unlock()
 
 	s.specMu.RLock()
 	specs := append([]engine.SynopsisSpec(nil), s.specs...)
 	s.specMu.RUnlock()
+	span.SetAttrInt("specs", int64(len(specs)))
 
 	// One locked read of the engine; the SUM series is derived locally so
 	// both metrics come from the same version.
@@ -428,6 +449,9 @@ func (s *Server) Rebuild() error {
 	s.snap.Store(snap)
 	s.rebuilds.Add(1)
 	s.lastErr.Store(&rebuildError{})
+	snapshotSwaps.Inc()
+	snapshotVersion.Set(snap.Version)
+	span.SetAttrInt("version", snap.Version)
 	return nil
 }
 

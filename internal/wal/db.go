@@ -2,8 +2,10 @@ package wal
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"rangeagg/internal/codec"
 	"rangeagg/internal/engine"
 	"rangeagg/internal/method"
+	"rangeagg/internal/obs"
 )
 
 // Options tunes a durable engine; zero values select the defaults.
@@ -137,6 +140,10 @@ type DB struct {
 // baseline checkpoint, so a data directory always carries enough state
 // to recover without external configuration.
 func Open(dir string, opt Options) (*DB, *Recovery, error) {
+	_, span := obs.Start(context.Background(), "wal.recover")
+	span.SetAttr("dir", dir)
+	span.OnEnd(walRecoverySeconds.Observe)
+	defer span.End()
 	opt = opt.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: creating data directory: %w", err)
@@ -182,6 +189,11 @@ func Open(dir string, opt Options) (*DB, *Recovery, error) {
 		return nil, nil, err
 	}
 	rec.Shards = append([]ShardMerge(nil), d.shards...)
+
+	span.SetAttrInt("checkpoint", int64(rec.Checkpoint))
+	span.SetAttrInt("replayed", rec.Replayed)
+	span.SetAttr("torn", strconv.FormatBool(rec.Torn))
+	span.SetAttr("fresh", strconv.FormatBool(rec.Fresh))
 
 	go d.fsyncLoop()
 	return d, rec, nil
@@ -491,6 +503,9 @@ func encodeEstimator(est build.Estimator) ([]byte, error) {
 // and the log rotated; serialization and file I/O run outside the
 // mutation mutex.
 func (d *DB) Checkpoint() error {
+	_, span := obs.Start(context.Background(), "wal.checkpoint")
+	span.OnEnd(walCheckpointSeconds.Observe)
+	defer span.End()
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 
@@ -505,6 +520,8 @@ func (d *DB) Checkpoint() error {
 	}
 	d.mu.Unlock()
 
+	span.SetAttrInt("applied", int64(applied))
+	span.SetAttrInt("synopses", int64(len(syns)))
 	wire := checkpointWire{Name: d.eng.Name(), Domain: d.eng.Domain(), Applied: applied, Counts: counts}
 	for _, s := range syns {
 		cs := ckptSynopsis{Name: s.Name, Metric: int(s.Metric), Options: s.Options}

@@ -12,7 +12,25 @@ import (
 	"time"
 
 	"rangeagg/internal/fsx"
+	"rangeagg/internal/obs"
 )
+
+// Durability latency histograms (process-wide): every log append end to
+// end (framing, write, policy fsync), every fsync syscall alone, each
+// whole checkpoint, and each recovery. The fsync histogram is the one to
+// watch when tuning -fsync: under FsyncAlways it bounds ingest latency.
+var (
+	walAppendSeconds     = obs.Default.Histogram("rangeagg_wal_append_seconds")
+	walFsyncSeconds      = obs.Default.Histogram("rangeagg_wal_fsync_seconds")
+	walCheckpointSeconds = obs.Default.Histogram("rangeagg_wal_checkpoint_seconds")
+	walRecoverySeconds   = obs.Default.Histogram("rangeagg_wal_recovery_seconds")
+)
+
+// timedSync fsyncs a file under the fsync latency histogram.
+func timedSync(f *os.File) error {
+	defer walFsyncSeconds.Since(time.Now())
+	return f.Sync()
+}
 
 // FsyncPolicy selects when appended records are forced to stable storage.
 type FsyncPolicy int
@@ -160,7 +178,7 @@ func (l *Log) startSegment(base uint64) error {
 		f.Close()
 		return fmt.Errorf("wal: writing segment header: %w", err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := timedSync(f); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: syncing segment header: %w", err)
 	}
@@ -177,6 +195,7 @@ func (l *Log) startSegment(base uint64) error {
 // segment rotates before the write when the active one is full; fsync
 // behavior follows the policy.
 func (l *Log) Append(rw recordWire) (uint64, error) {
+	defer walAppendSeconds.Since(time.Now())
 	frame, err := marshalRecord(rw)
 	if err != nil {
 		return 0, err
@@ -197,7 +216,7 @@ func (l *Log) Append(rw recordWire) (uint64, error) {
 	l.stats.appends.Add(1)
 	l.stats.bytes.Add(int64(len(frame)))
 	if l.policy == FsyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := timedSync(l.f); err != nil {
 			return 0, fmt.Errorf("wal: syncing record: %w", err)
 		}
 		l.stats.fsyncs.Add(1)
@@ -227,7 +246,7 @@ func (l *Log) syncLocked() error {
 	if !l.dirty || l.f == nil {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := timedSync(l.f); err != nil {
 		return fmt.Errorf("wal: syncing log: %w", err)
 	}
 	l.stats.fsyncs.Add(1)
