@@ -12,6 +12,10 @@ import (
 type Recommendation struct {
 	// Method is the construction's paper name.
 	Method Method
+	// Epsilon is the approximation target for approximate-construction
+	// candidates (the advisor sweeps ε ∈ {0.05, 0.1, 0.25} for them);
+	// zero for exact constructions.
+	Epsilon float64
 	// SSE over the evaluation workload (all ranges when none given).
 	SSE float64
 	// RMS is the per-query root-mean-square error.
@@ -47,6 +51,7 @@ func Recommend(counts []int64, queries []Range, budgetWords int, seed int64) ([]
 	for i, c := range cands {
 		out[i] = Recommendation{
 			Method:       Method(c.Method),
+			Epsilon:      c.Epsilon,
 			SSE:          c.SSE,
 			RMS:          c.RMS,
 			StorageWords: c.StorageWords,
@@ -85,6 +90,7 @@ func (e *Engine) RecommendSynopsis(name string, metric Metric, queries []Range, 
 	}
 	if err := e.BuildSynopsis(name, metric, Options{
 		Method: winner.Method, BudgetWords: budgetWords, Seed: 1,
+		Epsilon: winner.Epsilon,
 	}); err != nil {
 		return Recommendation{}, err
 	}

@@ -96,7 +96,9 @@ func BenchmarkConstruct(b *testing.B) {
 		b.Run(m.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Build(counts, Options{Method: m, BudgetWords: 32, Seed: 1}); err != nil {
+				// Epsilon feeds the approximate families (required) and
+				// OPT-A-ROUNDED's quality target; exact methods ignore it.
+				if _, err := Build(counts, Options{Method: m, BudgetWords: 32, Seed: 1, Epsilon: 0.25}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -118,6 +120,25 @@ func BenchmarkConstructScaling(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := Build(counts, Options{Method: m, BudgetWords: 32, Seed: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// The near-linear approximate families extend the grid three orders of
+	// magnitude past where the exact O(n²B) DPs stop — the exact series
+	// above is untouched so the regression baseline stays comparable.
+	for _, n := range []int{8192, 65536, 1048576} {
+		counts, err := ZipfCounts(n, 1.8, 1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range []Method{A0Approx, SAP0Approx, PointOptApprox} {
+			b.Run(fmt.Sprintf("%s/n=%d", m, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Build(counts, Options{Method: m, BudgetWords: 32, Seed: 1, Epsilon: 0.1}); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -5,10 +5,14 @@
 //
 //	synbuild -in data.csv -method OPT-A -budget 32 -o synopsis.json
 //	synbuild -in data.csv -method A0 -budget 16 -reopt
+//	synbuild -in data.csv -method SAP0-APPROX -epsilon 0.1 -budget 32
 //
 // Methods: NAIVE, EQUI-WIDTH, EQUI-DEPTH, MAXDIFF, V-OPT, POINT-OPT, A0,
 // SAP0, SAP1, OPT-A, OPT-A-ROUNDED, TOPBB, WAVE-RANGEOPT, WAVE-AA2D
-// (WAVE-AA2D is build-and-query only; it has no serialized form).
+// (WAVE-AA2D is build-and-query only; it has no serialized form), and the
+// near-linear (1+ε)-approximate constructions SAP0-APPROX, A0-APPROX,
+// POINT-OPT-APPROX, which require -epsilon in (0,1) and scale to domains
+// of millions of values.
 package main
 
 import (
@@ -30,7 +34,7 @@ func main() {
 		budget = flag.Int("budget", 32, "storage budget in words")
 		doRe   = flag.Bool("reopt", false, "apply the §5 value re-optimization")
 		seed   = flag.Int64("seed", 1, "random seed")
-		eps    = flag.Float64("epsilon", 0, "OPT-A-ROUNDED quality target")
+		eps    = flag.Float64("epsilon", 0, "approximation target in (0,1): required by the *-APPROX methods, OPT-A-ROUNDED's quality target otherwise")
 		x      = flag.Int64("x", 0, "OPT-A-ROUNDED rounding parameter (overrides epsilon)")
 		out    = flag.String("o", "-", "output synopsis file (- for stdout)")
 		report = flag.Bool("sse", true, "print the SSE over all ranges to stderr")

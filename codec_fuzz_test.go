@@ -14,8 +14,8 @@ func FuzzReadSynopsis(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	for _, m := range []Method{Naive, EquiWidth, A0, SAP0, SAP1, SAP2, PointOpt, WaveTopBB, WaveRangeOpt, WaveAA2D} {
-		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1})
+	for _, m := range []Method{Naive, EquiWidth, A0, SAP0, SAP1, SAP2, PointOpt, WaveTopBB, WaveRangeOpt, WaveAA2D, SAP0Approx, A0Approx, PointOptApprox} {
+		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1, Epsilon: 0.25})
 		if err != nil {
 			f.Fatal(err)
 		}

@@ -10,8 +10,8 @@ import (
 
 func TestSynopsisCodecRoundTrip(t *testing.T) {
 	counts, _ := ZipfCounts(25, 1.8, 400, 5)
-	for _, m := range []Method{Naive, EquiWidth, A0, SAP0, SAP1, PointOpt, WaveTopBB, WaveRangeOpt, WaveAA2D, PrefixOpt, SAP2} {
-		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1})
+	for _, m := range []Method{Naive, EquiWidth, A0, SAP0, SAP1, PointOpt, WaveTopBB, WaveRangeOpt, WaveAA2D, PrefixOpt, SAP2, SAP0Approx, A0Approx, PointOptApprox} {
+		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1, Epsilon: 0.25})
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -60,6 +60,9 @@ func TestWriteSynopsisFamilyDispatch(t *testing.T) {
 		{OptA, "histogram"},
 		{OptARounded, "histogram"},
 		{PrefixOpt, "histogram"},
+		{SAP0Approx, "histogram"},
+		{A0Approx, "histogram"},
+		{PointOptApprox, "histogram"},
 		{WaveTopBB, "wavelet"},
 		{WaveRangeOpt, "wavelet"},
 		{WaveAA2D, "wavelet"},

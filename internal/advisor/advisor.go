@@ -21,6 +21,10 @@ import (
 type Candidate struct {
 	// Method is the construction.
 	Method build.Method
+	// Epsilon is the approximation target the candidate was built with —
+	// set for Approximate-capability methods (one candidate per swept ε),
+	// zero for exact constructions.
+	Epsilon float64
 	// SSE over the evaluation workload.
 	SSE float64
 	// RMS error per query.
@@ -50,11 +54,19 @@ type Config struct {
 	// ExactLimit caps the domain size for which pseudo-polynomial methods
 	// (the exact OPT-A dynamic program) are attempted (0 = 512).
 	ExactLimit int
+	// Epsilons are the approximation targets swept for Approximate-
+	// capability methods: each such method contributes one candidate per ε,
+	// so the ranking reports the build-time-vs-SSE trade-off alongside the
+	// exact families. Nil sweeps {0.05, 0.1, 0.25}.
+	Epsilons []float64
 	// Seed for randomized constructions.
 	Seed int64
 	// MaxStates bounds the exact DP.
 	MaxStates int
 }
+
+// defaultEpsilons is the ε sweep used when Config.Epsilons is nil.
+var defaultEpsilons = []float64{0.05, 0.1, 0.25}
 
 // Recommend evaluates candidate methods on the workload — concurrently,
 // over the shared worker pool — and returns them ranked by workload SSE
@@ -76,7 +88,17 @@ func Recommend(counts []int64, queries []sse.Range, cfg Config) ([]Candidate, er
 	if candidates == nil {
 		candidates = build.Methods()
 	}
-	var methods []build.Method
+	epsilons := cfg.Epsilons
+	if epsilons == nil {
+		epsilons = defaultEpsilons
+	}
+	// One spec per build: exact methods contribute one candidate (ε = 0),
+	// Approximate-capability methods one per swept ε.
+	type spec struct {
+		m   build.Method
+		eps float64
+	}
+	var specs []spec
 	for _, m := range candidates {
 		d, err := method.Lookup(m)
 		if err != nil {
@@ -91,23 +113,29 @@ func Recommend(counts []int64, queries []sse.Range, cfg Config) ([]Candidate, er
 		if cfg.Methods == nil && d.Caps.Has(method.PseudoPolynomial) && len(counts) > exactLimit {
 			continue
 		}
-		methods = append(methods, m)
+		if d.Caps.Has(method.Approximate) {
+			for _, eps := range epsilons {
+				specs = append(specs, spec{m: m, eps: eps})
+			}
+			continue
+		}
+		specs = append(specs, spec{m: m})
 	}
-	if len(methods) == 0 {
+	if len(specs) == 0 {
 		return nil, fmt.Errorf("advisor: no candidate method has the required capabilities (%s)", cfg.Require)
 	}
 	tab := prefix.NewTable(counts)
 	// Build and score every candidate concurrently over the shared worker
 	// pool. Each candidate writes only its own indexed slot, so the result
 	// is deterministic regardless of pool width or scheduling.
-	out := make([]Candidate, len(methods))
-	parallel.ForEach(len(methods), func(idx int) {
-		m := methods[idx]
-		c := Candidate{Method: m}
+	out := make([]Candidate, len(specs))
+	parallel.ForEach(len(specs), func(idx int) {
+		s := specs[idx]
+		c := Candidate{Method: s.m, Epsilon: s.eps}
 		start := time.Now()
 		est, err := build.Build(counts, build.Options{
-			Method: m, BudgetWords: cfg.BudgetWords,
-			Seed: cfg.Seed, MaxStates: cfg.MaxStates,
+			Method: s.m, BudgetWords: cfg.BudgetWords,
+			Seed: cfg.Seed, MaxStates: cfg.MaxStates, Epsilon: s.eps,
 		})
 		c.BuildTime = time.Since(start)
 		if err != nil {

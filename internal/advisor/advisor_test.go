@@ -6,6 +6,7 @@ import (
 
 	"rangeagg/internal/build"
 	"rangeagg/internal/dataset"
+	"rangeagg/internal/method"
 	"rangeagg/internal/parallel"
 	"rangeagg/internal/sse"
 )
@@ -86,6 +87,72 @@ func TestRecommendRestrictedMethods(t *testing.T) {
 	}
 	if cands[0].Method != build.A0 {
 		t.Errorf("winner = %s, want A0", cands[0].Method)
+	}
+}
+
+// TestRecommendSweepsEpsilon pins the approximate families' ε expansion:
+// each Approximate-capability method contributes one candidate per swept
+// ε (with per-candidate build time and SSE, so the ranking reports the
+// build-time-vs-quality trade-off), exact methods exactly one with ε = 0,
+// and Require-capability filtering composes with the sweep.
+func TestRecommendSweepsEpsilon(t *testing.T) {
+	counts := paperCounts(t)
+	cands, err := Recommend(counts, nil, Config{BudgetWords: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perMethod := map[build.Method]map[float64]int{}
+	for _, c := range cands {
+		if perMethod[c.Method] == nil {
+			perMethod[c.Method] = map[float64]int{}
+		}
+		perMethod[c.Method][c.Epsilon]++
+		if c.Err == nil && c.BuildTime <= 0 {
+			t.Errorf("%s(ε=%g): no build time measured", c.Method, c.Epsilon)
+		}
+	}
+	for m, eps := range perMethod {
+		d, err := method.Lookup(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Caps.Has(method.Approximate) {
+			for _, want := range []float64{0.05, 0.1, 0.25} {
+				if eps[want] != 1 {
+					t.Errorf("%s: ε=%g appears %d times, want 1", m, want, eps[want])
+				}
+			}
+		} else if len(eps) != 1 || eps[0] != 1 {
+			t.Errorf("%s: ε set %v, want exactly {0}", m, eps)
+		}
+	}
+	// A custom sweep replaces the default.
+	cands, err = Recommend(counts, nil, Config{
+		BudgetWords: 24, Seed: 1,
+		Methods:  []build.Method{build.SAP0Approx},
+		Epsilons: []float64{0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0].Epsilon != 0.5 {
+		t.Fatalf("custom sweep: %+v", cands)
+	}
+	// Require filtering still composes: only the approximate families carry
+	// the Approximate capability.
+	cands, err = Recommend(counts, nil, Config{
+		BudgetWords: 24, Seed: 1, Require: method.Approximate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 9 { // 3 approx methods × 3 default ε
+		t.Fatalf("Require(approximate): %d candidates, want 9", len(cands))
+	}
+	for _, c := range cands {
+		if c.Err != nil {
+			t.Errorf("%s(ε=%g): %v", c.Method, c.Epsilon, c.Err)
+		}
 	}
 }
 

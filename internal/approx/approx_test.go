@@ -1,0 +1,223 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rangeagg/internal/dp"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+// testData returns deterministic datasets exercising the shapes that
+// stress a sparse-boundary search: heavy-tailed, flat-with-noise, and
+// flat-with-spikes.
+func testData(n int) map[string][]int64 {
+	zipf := make([]int64, n)
+	rz := rand.New(rand.NewSource(7))
+	z := rand.NewZipf(rz, 1.8, 1, 400)
+	for i := range zipf {
+		zipf[i] = int64(z.Uint64())
+	}
+	uniform := make([]int64, n)
+	ru := rand.New(rand.NewSource(11))
+	for i := range uniform {
+		uniform[i] = int64(ru.Intn(50))
+	}
+	spiked := make([]int64, n)
+	rs := rand.New(rand.NewSource(3))
+	for s := 0; s < 4; s++ {
+		spiked[rs.Intn(n)] = int64(1000 + rs.Intn(5000))
+	}
+	return map[string][]int64{"zipf": zipf, "uniform": uniform, "spiked": spiked}
+}
+
+// costs returns the per-bucket cost functions Partition is used with.
+// The weighted V-optimal cost is interval-monotone, so the (1+ε) bound is
+// rigorous there; SAP0 and A0 carry positional weights and are covered to
+// confirm the heuristic holds on real data shapes.
+func costs(counts []int64) map[string]dp.CostFunc {
+	tab := prefix.NewTable(counts)
+	n := len(counts)
+	cw, cwa, cwa2 := dp.WeightedMomentTables(counts, dp.PointOptWeights(n))
+	return map[string]dp.CostFunc{
+		"weighted": dp.WeightedVarCost(cw, cwa, cwa2),
+		"sap0":     dp.FusedSAP0Cost(tab),
+		"a0":       dp.FusedA0Cost(tab),
+	}
+}
+
+func TestPartitionWithinEpsilonOfExact(t *testing.T) {
+	for _, n := range []int{17, 64, 160} {
+		for dsName, counts := range testData(n) {
+			for costName, cost := range costs(counts) {
+				for _, b := range []int{1, 2, 4, 8} {
+					_, opt, err := dp.Solve(n, b, cost)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, eps := range []float64{0.05, 0.25, 0.9} {
+						starts, total, err := Partition(n, b, eps, cost)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(starts) == 0 || starts[0] != 0 || len(starts) > b {
+							t.Fatalf("%s/%s n=%d b=%d: bad starts %v", dsName, costName, n, b, starts)
+						}
+						for i := 1; i < len(starts); i++ {
+							if starts[i] <= starts[i-1] || starts[i] >= n {
+								t.Fatalf("%s/%s n=%d b=%d: bad starts %v", dsName, costName, n, b, starts)
+							}
+						}
+						// The returned total is the achieved cost of the
+						// returned partition.
+						sum := 0.0
+						for i, s := range starts {
+							hi := n - 1
+							if i+1 < len(starts) {
+								hi = starts[i+1] - 1
+							}
+							sum += cost(s, hi)
+						}
+						if math.Abs(sum-total) > 1e-9*(1+sum) {
+							t.Errorf("%s/%s n=%d b=%d ε=%g: total %g but partition costs %g", dsName, costName, n, b, eps, total, sum)
+						}
+						if total > (1+eps)*opt*(1+1e-12)+1e-9 {
+							t.Errorf("%s/%s n=%d b=%d ε=%g: approx %g > (1+ε)·opt %g", dsName, costName, n, b, eps, total, (1+eps)*opt)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	cost := func(l, r int) float64 { return float64(r - l) }
+	// Budget covers every point: singleton buckets, zero cost.
+	starts, total, err := Partition(5, 9, 0.1, cost)
+	if err != nil || total != 0 || len(starts) != 5 {
+		t.Fatalf("b≥n: starts=%v total=%g err=%v", starts, total, err)
+	}
+	// Single point.
+	starts, total, err = Partition(1, 3, 0.5, cost)
+	if err != nil || total != 0 || len(starts) != 1 || starts[0] != 0 {
+		t.Fatalf("n=1: starts=%v total=%g err=%v", starts, total, err)
+	}
+	// Single bucket: no choice to make.
+	starts, total, err = Partition(6, 1, 0.5, cost)
+	if err != nil || total != 5 || len(starts) != 1 {
+		t.Fatalf("b=1: starts=%v total=%g err=%v", starts, total, err)
+	}
+	// Zero-cost data short-circuits on the equi-width seed.
+	zero := func(l, r int) float64 { return 0 }
+	starts, total, err = Partition(100, 4, 0.1, zero)
+	if err != nil || total != 0 || len(starts) != 4 {
+		t.Fatalf("zero cost: starts=%v total=%g err=%v", starts, total, err)
+	}
+	// Invalid arguments.
+	if _, _, err := Partition(0, 3, 0.5, cost); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := Partition(5, 0, 0.5, cost); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, _, err := Partition(5, 3, 0, cost); err == nil {
+		t.Error("ε=0 accepted")
+	}
+}
+
+func TestValidateEpsilon(t *testing.T) {
+	for _, eps := range []float64{0.001, 0.05, 0.5, 0.999} {
+		if err := ValidateEpsilon(eps); err != nil {
+			t.Errorf("ε=%g rejected: %v", eps, err)
+		}
+	}
+	for _, eps := range []float64{0, 1, -0.1, 1.5, math.NaN(), math.Inf(1)} {
+		if err := ValidateEpsilon(eps); err == nil {
+			t.Errorf("ε=%v accepted", eps)
+		}
+	}
+}
+
+func TestFusedCostsMatchClosures(t *testing.T) {
+	for name, counts := range testData(48) {
+		tab := prefix.NewTable(counts)
+		n := tab.N()
+		pairs := []struct {
+			label        string
+			fused, plain dp.CostFunc
+		}{
+			{"SAP0", dp.FusedSAP0Cost(tab), dp.SAP0Cost(tab)},
+			{"A0", dp.FusedA0Cost(tab), dp.A0Cost(tab)},
+		}
+		for _, p := range pairs {
+			for l := 0; l < n; l++ {
+				for r := l; r < n; r++ {
+					got, want := p.fused(l, r), p.plain(l, r)
+					if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+						t.Fatalf("%s/%s(%d,%d) = %g, closure %g", name, p.label, l, r, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	counts := testData(128)["zipf"]
+	tab := prefix.NewTable(counts)
+
+	s0, err := SAP0(tab, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Name() != "SAP0-APPROX(0.1)" {
+		t.Errorf("SAP0 name = %q", s0.Name())
+	}
+	if s0.N() != 128 || s0.StorageWords() > 3*8 {
+		t.Errorf("SAP0 shape: N=%d words=%d", s0.N(), s0.StorageWords())
+	}
+
+	a0, err := A0(tab, 8, 0.25, histogram.RoundNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a0.Name() != "A0-APPROX(0.25)" {
+		t.Errorf("A0 name = %q", a0.Name())
+	}
+
+	po, err := PointOpt(tab, counts, 8, 0.25, histogram.RoundNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po.Name() != "POINT-OPT-APPROX(0.25)" {
+		t.Errorf("PointOpt name = %q", po.Name())
+	}
+	// POINT-OPT-APPROX bucket values are weighted means: every estimate
+	// stays within the data's value range.
+	var mx int64
+	for _, c := range counts {
+		if c > mx {
+			mx = c
+		}
+	}
+	for i := 0; i < 128; i++ {
+		if v := po.Estimate(i, i); v < 0 || v > float64(mx) {
+			t.Fatalf("estimate %d out of range: %g", i, v)
+		}
+	}
+
+	for _, eps := range []float64{0, 1, -1, math.NaN()} {
+		if _, err := SAP0(tab, 8, eps); err == nil {
+			t.Errorf("SAP0 accepted ε=%v", eps)
+		}
+		if _, err := A0(tab, 8, eps, histogram.RoundNone); err == nil {
+			t.Errorf("A0 accepted ε=%v", eps)
+		}
+		if _, err := PointOpt(tab, counts, 8, eps, histogram.RoundNone); err == nil {
+			t.Errorf("PointOpt accepted ε=%v", eps)
+		}
+	}
+}

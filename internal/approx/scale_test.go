@@ -1,0 +1,38 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rangeagg/internal/prefix"
+)
+
+// TestMillionPointBuild is the acceptance smoke test for the near-linear
+// path: SAP0-APPROX(0.1) over n = 2²⁰ must finish in seconds, where the
+// exact O(n²B) DP would take hours. The assertion bound is deliberately
+// loose (the precise number is the ConstructScaling benchmark's job) so a
+// throttled CI runner does not flake.
+func TestMillionPointBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-point build in -short mode")
+	}
+	const n = 1 << 20
+	counts := make([]int64, n)
+	r := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(r, 1.8, 1, 1000)
+	for i := range counts {
+		counts[i] = int64(z.Uint64())
+	}
+	tab := prefix.NewTable(counts)
+	start := time.Now()
+	h, err := SAP0(tab, 10, 0.1)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SAP0-APPROX(0.1) n=%d built in %v (%d words)", n, elapsed, h.StorageWords())
+	if elapsed > 20*time.Second {
+		t.Fatalf("SAP0-APPROX(0.1) n=%d took %v, want seconds", n, elapsed)
+	}
+}

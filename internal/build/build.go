@@ -45,22 +45,25 @@ type Method = method.ID
 
 // The registered methods, re-exported so consumers keep one import.
 const (
-	Naive        = method.Naive
-	EquiWidth    = method.EquiWidth
-	EquiDepth    = method.EquiDepth
-	MaxDiff      = method.MaxDiff
-	VOptimal     = method.VOptimal
-	PointOpt     = method.PointOpt
-	A0           = method.A0
-	SAP0         = method.SAP0
-	SAP1         = method.SAP1
-	OptA         = method.OptA
-	OptARounded  = method.OptARounded
-	WaveTopBB    = method.WaveTopBB
-	WaveRangeOpt = method.WaveRangeOpt
-	WaveAA2D     = method.WaveAA2D
-	PrefixOpt    = method.PrefixOpt
-	SAP2         = method.SAP2
+	Naive          = method.Naive
+	EquiWidth      = method.EquiWidth
+	EquiDepth      = method.EquiDepth
+	MaxDiff        = method.MaxDiff
+	VOptimal       = method.VOptimal
+	PointOpt       = method.PointOpt
+	A0             = method.A0
+	SAP0           = method.SAP0
+	SAP1           = method.SAP1
+	OptA           = method.OptA
+	OptARounded    = method.OptARounded
+	WaveTopBB      = method.WaveTopBB
+	WaveRangeOpt   = method.WaveRangeOpt
+	WaveAA2D       = method.WaveAA2D
+	PrefixOpt      = method.PrefixOpt
+	SAP2           = method.SAP2
+	SAP0Approx     = method.SAP0Approx
+	A0Approx       = method.A0Approx
+	PointOptApprox = method.PointOptApprox
 )
 
 // ParseMethod resolves a method from its paper name (case-insensitive).

@@ -93,7 +93,8 @@ func TestBuildAllMethodsWithinBudget(t *testing.T) {
 	}
 	base := sse.Of(tab, naive)
 	for _, m := range Methods() {
-		est, err := Build(counts, Options{Method: m, BudgetWords: 14, Seed: 1})
+		// Epsilon feeds the approximate families; exact methods ignore it.
+		est, err := Build(counts, Options{Method: m, BudgetWords: 14, Seed: 1, Epsilon: 0.1})
 		if err != nil {
 			t.Errorf("%s: %v", m, err)
 			continue

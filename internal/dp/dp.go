@@ -127,28 +127,41 @@ func VOpt(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, er
 // the weighted point-query error — not the range SSE, which is the point
 // of the comparison.
 func PointOpt(tab *prefix.Table, b int, mode histogram.Rounding) (*histogram.Avg, error) {
-	n := tab.N()
-	counts := tab.Counts()
+	return weightedVOpt(tab, tab.Counts(), PointOptWeights(tab.N()), b, mode, "POINT-OPT")
+}
+
+// PointOptWeights returns POINT-OPT's per-point weights w_i ∝ (i+1)(n−i):
+// the (unnormalized) probability that point i is covered by a uniformly
+// random range query.
+func PointOptWeights(n int) []float64 {
 	w := make([]float64, n)
 	for i := range w {
 		w[i] = float64(i+1) * float64(n-i)
 	}
-	return weightedVOpt(tab, counts, w, b, mode, "POINT-OPT")
+	return w
 }
 
-// weightedVOpt runs the weighted V-optimal DP: bucket value = weighted
-// mean, bucket cost = weighted variance, both O(1) from moment tables.
-func weightedVOpt(tab *prefix.Table, counts []int64, w []float64, b int, mode histogram.Rounding, label string) (*histogram.Avg, error) {
+// WeightedMomentTables precomputes the Σw, Σw·A, Σw·A² prefix tables the
+// weighted V-optimal cost (weightedKernel, WeightedVarCost) reads.
+func WeightedMomentTables(counts []int64, w []float64) (cw, cwa, cwa2 []float64) {
 	n := len(counts)
-	cw := make([]float64, n+1)  // Σ w
-	cwa := make([]float64, n+1) // Σ w·A
-	cwa2 := make([]float64, n+1)
+	cw = make([]float64, n+1)  // Σ w
+	cwa = make([]float64, n+1) // Σ w·A
+	cwa2 = make([]float64, n+1)
 	for i := 0; i < n; i++ {
 		a := float64(counts[i])
 		cw[i+1] = cw[i] + w[i]
 		cwa[i+1] = cwa[i] + w[i]*a
 		cwa2[i+1] = cwa2[i] + w[i]*a*a
 	}
+	return cw, cwa, cwa2
+}
+
+// weightedVOpt runs the weighted V-optimal DP: bucket value = weighted
+// mean, bucket cost = weighted variance, both O(1) from moment tables.
+func weightedVOpt(tab *prefix.Table, counts []int64, w []float64, b int, mode histogram.Rounding, label string) (*histogram.Avg, error) {
+	n := len(counts)
+	cw, cwa, cwa2 := WeightedMomentTables(counts, w)
 	starts, _, err := timedSolve(label, n, b, weightedKernel(cw, cwa, cwa2))
 	if err != nil {
 		return nil, err

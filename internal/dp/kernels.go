@@ -310,6 +310,108 @@ func A0Cost(tab *prefix.Table) CostFunc {
 	}
 }
 
+// Fused closure forms of the hottest costs. The approximate construction
+// path (internal/approx) evaluates costs point-wise — one (l,r) pair per
+// oracle probe instead of a whole DP row — so it cannot amortize the
+// kernel's row-level hoisting, and the method-call closures above cost
+// several prefix.Table calls per evaluation. These closures read the raw
+// moment slices directly, replicating the kernels' algebra (same
+// floating-point operation order, same clamps), and are what the sparse
+// DP spends nearly all of its time in at n = 10⁶.
+
+// FusedSAP0Cost returns the SAP0 per-bucket cost of Theorem 6, computed
+// with sap0Kernel's fused moment algebra. Values match SAP0Cost.
+func FusedSAP0Cost(tab *prefix.Table) CostFunc {
+	mom := tab.Moments()
+	p, cumP, cumP2, cumUP := mom.P, mom.CumP, mom.CumP2, mom.CumUP
+	n := tab.N()
+	return func(l, r int) float64 {
+		i, j := r+1, l
+		w := float64(n - i)
+		m := float64(i - j)
+		pl := p[j]
+		// --- AvgFit(j, i−1) over window [j, i] ---
+		avg := (p[i] - pl) / m
+		sum := cumP[i+1] - cumP[j]
+		sum2 := cumP2[i+1] - cumP2[j]
+		sumUP := cumUP[i+1] - cumUP[j]
+		cnt := m + 1
+		sumQ := sum - cnt*pl
+		sumQ2 := sum2 - 2*pl*sum + cnt*pl*pl
+		sumD := m * (m + 1) / 2
+		sumD2 := m * (m + 1) * (2*m + 1) / 6
+		sumDP := sumUP - float64(j)*sum
+		sumQD := sumDP - pl*sumD
+		sumE := sumQ - avg*sumD
+		sumE2 := sumQ2 - 2*avg*sumQD + avg*avg*sumD2
+		if sumE2 < 0 {
+			sumE2 = 0
+		}
+		intra := (m + 1) * sumE2
+		intra -= sumE * sumE
+		if intra < 0 {
+			intra = 0
+		}
+		// --- SuffixVar = VarSumP(j, i−1) ---
+		s1 := cumP[i] - cumP[j]
+		s2 := cumP2[i] - cumP2[j]
+		sufVar := s2 - s1*s1/m
+		if sufVar < 0 {
+			sufVar = 0
+		}
+		// --- PrefixVar = VarSumP(j+1, i) ---
+		s1p := cumP[i+1] - cumP[j+1]
+		s2p := cumP2[i+1] - cumP2[j+1]
+		preVar := s2p - s1p*s1p/m
+		if preVar < 0 {
+			preVar = 0
+		}
+		return intra + sufVar*w + preVar*float64(j)
+	}
+}
+
+// FusedA0Cost returns the A0 per-bucket cost (cross term ignored),
+// computed with a0Kernel's fused moment algebra. Values match A0Cost.
+func FusedA0Cost(tab *prefix.Table) CostFunc {
+	mom := tab.Moments()
+	p, cumP, cumP2, cumUP := mom.P, mom.CumP, mom.CumP2, mom.CumUP
+	n := tab.N()
+	return func(l, r int) float64 {
+		i, j := r+1, l
+		w := float64(n - i)
+		m := float64(i - j)
+		pl := p[j]
+		avg := (p[i] - pl) / m
+		sum := cumP[i+1] - cumP[j]
+		sum2 := cumP2[i+1] - cumP2[j]
+		sumUP := cumUP[i+1] - cumUP[j]
+		cnt := m + 1
+		sumQ := sum - cnt*pl
+		sumQ2 := sum2 - 2*pl*sum + cnt*pl*pl
+		sumD := m * (m + 1) / 2
+		sumD2 := m * (m + 1) * (2*m + 1) / 6
+		sumDP := sumUP - float64(j)*sum
+		sumQD := sumDP - pl*sumD
+		sumE := sumQ - avg*sumD
+		sumE2 := sumQ2 - 2*avg*sumQD + avg*avg*sumD2
+		if sumE2 < 0 {
+			sumE2 = 0
+		}
+		intra := (m + 1) * sumE2
+		intra -= sumE * sumE
+		if intra < 0 {
+			intra = 0
+		}
+		return intra + sumE2*w + sumE2*float64(j)
+	}
+}
+
+// WeightedVarCost returns the weighted V-optimal per-bucket cost (the
+// weighted variance of [l,r]) over tables from WeightedMomentTables.
+func WeightedVarCost(cw, cwa, cwa2 []float64) CostFunc {
+	return weightedCost(cw, cwa, cwa2)
+}
+
 // weightedCost returns the weighted V-optimal closure over the same
 // moment tables the kernel reads.
 func weightedCost(cw, cwa, cwa2 []float64) CostFunc {

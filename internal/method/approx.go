@@ -1,0 +1,58 @@
+package method
+
+// This file registers the (1+ε)-approximate construction families
+// (internal/approx): SAP0-APPROX, A0-APPROX and POINT-OPT-APPROX. Each is
+// the near-linear counterpart of its exact family — same representation,
+// same wire family, same storage accounting — differing only in how the
+// bucket boundaries are found, so the average-form members keep the full
+// average-family capability set and SAP0-APPROX mirrors SAP0. All three
+// carry the Approximate cap: they require Opts.Epsilon ∈ (0,1) and the
+// built synopsis records ε in its label, e.g. "SAP0-APPROX(0.1)".
+
+import (
+	"rangeagg/internal/approx"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/prefix"
+)
+
+func init() {
+	Register(Descriptor{
+		ID:           SAP0Approx,
+		Name:         "SAP0-APPROX",
+		Family:       "histogram",
+		WordsPerUnit: 3,
+		Caps:         Serializable | BucketBased | Approximate,
+		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
+			return approx.SAP0(tab, opt.Units, opt.Epsilon)
+		},
+		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
+			return histogram.NewSAP0FromBounds(tab, bk, label)
+		},
+	})
+	Register(Descriptor{
+		ID:            A0Approx,
+		Name:          "A0-APPROX",
+		Family:        "histogram",
+		WordsPerUnit:  2,
+		Caps:          avgCaps | Approximate,
+		PaperRounding: histogram.RoundCumulative,
+		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
+			return approx.A0(tab, opt.Units, opt.Epsilon, opt.Rounding)
+		},
+		FromBounds: avgFromBounds,
+		Merge:      mergeAvg,
+	})
+	Register(Descriptor{
+		ID:            PointOptApprox,
+		Name:          "POINT-OPT-APPROX",
+		Family:        "histogram",
+		WordsPerUnit:  2,
+		Caps:          avgCaps | Approximate,
+		PaperRounding: histogram.RoundCumulative,
+		Build: func(tab *prefix.Table, counts []int64, opt Opts) (Estimator, error) {
+			return approx.PointOpt(tab, counts, opt.Units, opt.Epsilon, opt.Rounding)
+		},
+		FromBounds: avgFromBounds,
+		Merge:      mergeAvg,
+	})
+}

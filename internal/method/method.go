@@ -50,6 +50,9 @@ const (
 	WaveAA2D
 	PrefixOpt
 	SAP2
+	SAP0Approx
+	A0Approx
+	PointOptApprox
 
 	numIDs // sentinel: count of registered methods
 )
@@ -88,6 +91,10 @@ const (
 	// dynamic program, whose cost grows with the data values; the advisor
 	// skips them on large instances.
 	PseudoPolynomial
+	// Approximate methods trade a (1+ε) factor on the construction
+	// objective for near-linear build time (internal/approx); they require
+	// Opts.Epsilon ∈ (0,1) and the advisor sweeps ε as a knob.
+	Approximate
 )
 
 // capNames orders the flag names for List/String.
@@ -103,6 +110,7 @@ var capNames = []struct {
 	{Serializable, "serializable"},
 	{BucketBased, "bucket-based"},
 	{PseudoPolynomial, "pseudo-polynomial"},
+	{Approximate, "approximate"},
 }
 
 // Has reports whether every capability in want is present.
@@ -133,7 +141,9 @@ type Opts struct {
 	Rounding histogram.Rounding
 	// Seed drives randomized steps (OPT-A-ROUNDED's data rounding).
 	Seed int64
-	// Epsilon is OPT-A-ROUNDED's quality target, used when RoundedX is 0.
+	// Epsilon is the approximation quality target: the (1+ε) construction
+	// bound for Approximate methods (required, ∈ (0,1)), and OPT-A-ROUNDED's
+	// rounding quality when RoundedX is 0.
 	Epsilon float64
 	// RoundedX overrides OPT-A-ROUNDED's rounding parameter directly.
 	RoundedX int64

@@ -202,3 +202,52 @@ func TestEngineApproxBatchMatchesSingles(t *testing.T) {
 		t.Error("unknown synopsis accepted")
 	}
 }
+
+// TestApproxSSEWithinEpsilonOfExact is the (1+ε) differential bound for
+// the near-linear approximate constructions: on every dataset shape and
+// every swept ε, the approximate family's brute-force SSE must stay
+// within (1+ε) of its exact DP counterpart's. The full n-grid runs
+// without -short; short mode keeps the smallest size. The bound is
+// rigorous on the construction objective (which for SAP0 *is* the range
+// SSE, by the decomposition lemma); for A0 and POINT-OPT the objective is
+// a surrogate, and this test is what enforces that the (1+ε) slack
+// carries over to the real metric.
+func TestApproxSSEWithinEpsilonOfExact(t *testing.T) {
+	sizes := []int{64, 256, 512}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	pairs := []struct {
+		name          string
+		exact, approx build.Method
+		budget        int
+	}{
+		{"SAP0", build.SAP0, build.SAP0Approx, 24},
+		{"A0", build.A0, build.A0Approx, 16},
+		{"POINT-OPT", build.PointOpt, build.PointOptApprox, 16},
+	}
+	for _, n := range sizes {
+		for dname, counts := range datasets(t, n) {
+			for _, p := range pairs {
+				exact, err := build.Build(counts, build.Options{Method: p.exact, BudgetWords: p.budget, Seed: 1})
+				if err != nil {
+					t.Fatalf("n=%d %s/%s: %v", n, dname, p.name, err)
+				}
+				exactSSE := oracle.SSE(counts, exact)
+				for _, eps := range []float64{0.05, 0.1, 0.25} {
+					approx, err := build.Build(counts, build.Options{
+						Method: p.approx, BudgetWords: p.budget, Seed: 1, Epsilon: eps,
+					})
+					if err != nil {
+						t.Fatalf("n=%d %s/%s ε=%g: %v", n, dname, p.name, eps, err)
+					}
+					approxSSE := oracle.SSE(counts, approx)
+					if approxSSE > (1+eps)*exactSSE*(1+1e-9)+1e-9 {
+						t.Errorf("n=%d %s/%s ε=%g: approx SSE %g > (1+ε)·exact %g",
+							n, dname, p.name, eps, approxSSE, (1+eps)*exactSSE)
+					}
+				}
+			}
+		}
+	}
+}

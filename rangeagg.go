@@ -105,6 +105,18 @@ const (
 	// the next member of the paper's §2.2.2 higher-order family, optimal
 	// for its representation.
 	SAP2
+	// SAP0Approx is the (1+ε)-approximate SAP0: same 3B-word
+	// representation, boundaries from the near-linear sparse dynamic
+	// program (internal/approx) instead of the O(n²B) exact one. Requires
+	// Options.Epsilon ∈ (0,1); scales to domains of millions of values.
+	SAP0Approx
+	// A0Approx is the (1+ε)-approximate counterpart of A0 (2B words,
+	// near-linear construction). Requires Options.Epsilon ∈ (0,1).
+	A0Approx
+	// PointOptApprox is the (1+ε)-approximate POINT-OPT; its weighted
+	// V-optimal objective is interval-monotone, so the (1+ε) bound on the
+	// construction objective is rigorous. Requires Options.Epsilon ∈ (0,1).
+	PointOptApprox
 )
 
 // UnknownMethodError reports a Method value with no registry entry —
@@ -117,6 +129,20 @@ func (e *UnknownMethodError) Error() string {
 	return fmt.Sprintf("rangeagg: unknown method %d", int(e.Method))
 }
 
+// InvalidEpsilonError reports an approximation parameter outside (0,1)
+// passed to a method that requires one (the Approximate-capability
+// families: SAP0-APPROX, A0-APPROX, POINT-OPT-APPROX). A zero Epsilon —
+// the field's default — is invalid for these methods: there is no
+// meaningful default quality target, so the caller must choose one.
+type InvalidEpsilonError struct {
+	Method  Method
+	Epsilon float64
+}
+
+func (e *InvalidEpsilonError) Error() string {
+	return fmt.Sprintf("rangeagg: method %s requires epsilon in (0,1), got %v", e.Method, e.Epsilon)
+}
+
 // resolve validates the method against the registry and returns its
 // internal ID. Every facade entry point that accepts a Method goes
 // through it; an unregistered value yields *UnknownMethodError rather
@@ -127,6 +153,21 @@ func (m Method) resolve() (build.Method, error) {
 		return 0, &UnknownMethodError{Method: m}
 	}
 	return id, nil
+}
+
+// validateEpsilon rejects ε outside (0,1) for Approximate-capability
+// methods before the build starts (NaN fails both comparisons). Other
+// methods ignore the check: their Epsilon semantics (OPT-A-ROUNDED)
+// tolerate zero.
+func (m Method) validateEpsilon(eps float64) error {
+	d, err := method.Lookup(build.Method(m))
+	if err != nil || !d.Caps.Has(method.Approximate) {
+		return nil
+	}
+	if eps > 0 && eps < 1 {
+		return nil
+	}
+	return &InvalidEpsilonError{Method: m, Epsilon: eps}
 }
 
 // String returns the method's paper name.
@@ -178,7 +219,10 @@ type Options struct {
 	LocalSearch bool
 	// Seed drives randomized steps (OPT-A-ROUNDED's data rounding).
 	Seed int64
-	// Epsilon is OPT-A-ROUNDED's quality target; used when RoundedX is 0.
+	// Epsilon is the approximation quality target: required in (0,1) for
+	// the approximate-construction methods (SAP0Approx, A0Approx,
+	// PointOptApprox), where the construction objective is within (1+ε) of
+	// optimal; also OPT-A-ROUNDED's quality target when RoundedX is 0.
 	Epsilon float64
 	// RoundedX overrides OPT-A-ROUNDED's rounding parameter directly.
 	RoundedX int64
@@ -197,6 +241,9 @@ type Options struct {
 func Build(counts []int64, opt Options) (Synopsis, error) {
 	im, err := opt.Method.resolve()
 	if err != nil {
+		return nil, err
+	}
+	if err := opt.Method.validateEpsilon(opt.Epsilon); err != nil {
 		return nil, err
 	}
 	for i, c := range counts {

@@ -20,7 +20,8 @@ func TestMethodEnumAligned(t *testing.T) {
 		A0: build.A0, SAP0: build.SAP0, SAP1: build.SAP1, OptA: build.OptA,
 		OptARounded: build.OptARounded, WaveTopBB: build.WaveTopBB,
 		WaveRangeOpt: build.WaveRangeOpt, WaveAA2D: build.WaveAA2D,
-		PrefixOpt: build.PrefixOpt, SAP2: build.SAP2,
+		PrefixOpt: build.PrefixOpt, SAP2: build.SAP2, SAP0Approx: build.SAP0Approx,
+		A0Approx: build.A0Approx, PointOptApprox: build.PointOptApprox,
 	}
 	if len(pairs) != method.Count() {
 		t.Fatalf("pairs cover %d methods, registry has %d", len(pairs), method.Count())
@@ -88,7 +89,9 @@ func TestBuildAllMethodsViaFacade(t *testing.T) {
 	}
 	base := SSE(counts, naive)
 	for _, m := range Methods() {
-		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1})
+		// Epsilon is required by the approximate families and ignored as a
+		// quality knob by the rest (OPT-A-ROUNDED treats it the same way).
+		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1, Epsilon: 0.1})
 		if err != nil {
 			t.Errorf("%s: %v", m, err)
 			continue
@@ -115,6 +118,19 @@ func TestBuildValidation(t *testing.T) {
 	}
 	if _, err := Build([]int64{1, 2}, Options{Method: Method(99), BudgetWords: 8}); err == nil {
 		t.Error("unknown method accepted")
+	}
+	// Approximate methods reject ε outside (0,1) with the typed error; the
+	// zero default is no exception.
+	var ee *InvalidEpsilonError
+	for _, eps := range []float64{0, -0.5, 1, 2, math.NaN()} {
+		_, err := Build([]int64{1, 2, 3}, Options{Method: SAP0Approx, BudgetWords: 8, Epsilon: eps})
+		if !errors.As(err, &ee) {
+			t.Errorf("SAP0Approx ε=%v: err = %v, want *InvalidEpsilonError", eps, err)
+		}
+	}
+	// Exact methods ignore the field entirely.
+	if _, err := Build([]int64{1, 2, 3}, Options{Method: A0, BudgetWords: 8, Epsilon: 0}); err != nil {
+		t.Errorf("A0 with zero ε rejected: %v", err)
 	}
 }
 
