@@ -16,7 +16,9 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"testing"
+	"time"
 
 	"rangeagg/internal/advisor"
 	"rangeagg/internal/build"
@@ -26,6 +28,7 @@ import (
 	"rangeagg/internal/engine"
 	"rangeagg/internal/experiments"
 	"rangeagg/internal/parallel"
+	"rangeagg/internal/plan"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/serve"
 )
@@ -483,4 +486,159 @@ func BenchmarkServeHTTP(b *testing.B) {
 			do(b, req)
 		}
 	})
+}
+
+// plannerBench builds a serving stack for the error-budget planner: two
+// Count synopses — a coarse histogram probed first (cheapest by storage
+// words) and a finer one escalation reaches — plus a zipf-skewed
+// workload of 256 budget queries. Each query's budget is the fine
+// synopsis's own bound on its range, so the fine synopsis exactly
+// satisfies it while the coarse one fails: every cache miss pays both
+// synopses' estimate+bound (the wavelet's is O(coefficients)), every
+// hit pays two cache probes.
+func plannerBench(b testing.TB, cacheEntries int) (*serve.Server, []serve.Query) {
+	b.Helper()
+	const n = 2048
+	counts, err := ZipfCounts(n, 1.8, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New("planner-bench", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Load(counts); err != nil {
+		b.Fatal(err)
+	}
+	specs := []engine.SynopsisSpec{
+		{Name: "coarse", Metric: engine.Count, Options: build.Options{Method: build.EquiWidth, BudgetWords: 16}},
+		{Name: "fine", Metric: engine.Count, Options: build.Options{Method: build.WaveTopBB, BudgetWords: 256}},
+	}
+	srv, err := serve.New(eng, specs, serve.Config{CacheEntries: cacheEntries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+
+	rng := rand.New(rand.NewSource(9))
+	zipf := rand.NewZipf(rng, 1.4, 4, 63)
+	// Every pool range starts in the zipf head, where the coarse
+	// histogram's buckets average wildly varying counts and its bound is
+	// large; the wavelet keeps the head coefficients and bounds tightly.
+	pool := make([][2]int, 64)
+	for i := range pool {
+		a := rng.Intn(48)
+		pool[i] = [2]int{a, a + n/4 + rng.Intn(n/2)}
+	}
+	view := srv.Snapshot().View(engine.Count)
+	fine := view.SourceIndex("fine")
+	if fine < 0 {
+		b.Fatal("fine synopsis missing from view")
+	}
+	budgets := make([]float64, len(pool))
+	for j, r := range pool {
+		bound, _, ok := view.Sources[fine].Bound(r[0], r[1])
+		if !ok {
+			b.Fatalf("fine synopsis has no bound on [%d,%d]", r[0], r[1])
+		}
+		budgets[j] = bound
+	}
+	qs := make([]serve.Query, 256)
+	for i := range qs {
+		j := zipf.Uint64()
+		r := pool[j]
+		qs[i] = serve.Query{Metric: engine.Count, A: r[0], B: r[1], MaxErr: &budgets[j]}
+	}
+	return srv, qs
+}
+
+// BenchmarkPlannerPaths measures the per-answer cost of each planner
+// path in isolation (cache-hit, uncached probe, escalation to the exact
+// tables) and then the headline workload the cache exists for: a
+// zipf-skewed batch of 256 budget queries with the hot-range cache on
+// versus off. The per-batch p99 is reported as p99-ns/batch; with the
+// skewed pool almost entirely resident after the first batch, cache-on
+// must beat cache-off by at least 2x.
+func BenchmarkPlannerPaths(b *testing.B) {
+	b.Run("cache-hit", func(b *testing.B) {
+		srv, qs := plannerBench(b, 0)
+		if res, _ := srv.QueryOne(qs[0]); res.Err != nil { // warm the cache
+			b.Fatal(res.Err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, _ := srv.QueryOne(qs[0])
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if res.Path != plan.PathCache {
+				b.Fatalf("path %s, want cache", res.Path)
+			}
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		srv, qs := plannerBench(b, -1) // cache disabled: every op recomputes
+		q := qs[0]
+		q.MaxErr = nil
+		q.Synopsis = "coarse"
+		q.Metric = 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, _ := srv.QueryOne(q)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if res.Path != plan.PathProbe {
+				b.Fatalf("path %s, want probe", res.Path)
+			}
+		}
+	})
+	b.Run("escalate-to-exact", func(b *testing.B) {
+		srv, qs := plannerBench(b, -1)
+		q := qs[0]
+		zero := 0.0
+		q.MaxErr = &zero // no synopsis meets a zero budget
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, _ := srv.QueryOne(q)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if res.Path != plan.PathExact {
+				b.Fatalf("path %s, want exact", res.Path)
+			}
+		}
+	})
+	for _, bc := range []struct {
+		name    string
+		entries int
+	}{
+		{"zipf-batch-256/cache-on", 0},
+		{"zipf-batch-256/cache-off", -1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			srv, qs := plannerBench(b, bc.entries)
+			if results, _ := srv.QueryBatch(qs); results[0].Err != nil { // warm
+				b.Fatal(results[0].Err)
+			}
+			lat := make([]time.Duration, 0, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				results, _ := srv.QueryBatch(qs)
+				lat = append(lat, time.Since(start))
+				if results[0].Err != nil {
+					b.Fatal(results[0].Err)
+				}
+			}
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p99 := lat[len(lat)*99/100]
+			b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns/batch")
+		})
+	}
 }

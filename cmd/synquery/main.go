@@ -11,12 +11,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"rangeagg"
 	"rangeagg/internal/dataset"
+	"rangeagg/internal/method"
+	"rangeagg/internal/plan"
+	"rangeagg/internal/prefix"
 )
 
 type queryList []string
@@ -31,6 +35,8 @@ func main() {
 		dataPath = flag.String("data", "", "original distribution CSV for exact comparison (optional)")
 		random   = flag.Int("random", 0, "evaluate a random workload of this size (requires -data)")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		maxErr   = flag.Float64("maxerr", math.NaN(),
+			"per-query error budget: answer from the synopsis only when its bound is within this, else fall back to the exact data (requires -data)")
 	)
 	flag.Var(&queries, "q", "query range a:b (repeatable)")
 	flag.Parse()
@@ -65,11 +71,60 @@ func main() {
 		counts = d.Counts
 	}
 
+	// With -maxerr the queries go through the error-budget planner: the
+	// synopsis answers only when its per-range bound (rebuilt from the
+	// data) is within the budget, otherwise the exact data does.
+	var (
+		planner *plan.Planner
+		view    *plan.View
+	)
+	if !math.IsNaN(*maxErr) {
+		if counts == nil {
+			fatal(fmt.Errorf("-maxerr requires -data (to certify bounds and fall back exactly)"))
+		}
+		if *maxErr < 0 {
+			fatal(fmt.Errorf("-maxerr must be non-negative, got %g", *maxErr))
+		}
+		tab := prefix.NewTable(counts)
+		em, emErr := method.ErrorBoundFor(tab, syn)
+		planner = plan.New(0) // one-shot CLI: no hot-range cache
+		view = &plan.View{
+			Version: 1,
+			Metric:  "count",
+			Domain:  syn.N(),
+			Sources: []plan.Source{{
+				Name:     syn.Name(),
+				Words:    syn.StorageWords(),
+				Estimate: syn.Estimate,
+				Bound: func(a, b int) (float64, bool, bool) {
+					if emErr != nil {
+						return 0, false, false
+					}
+					return em.Bound(a, b), em.Rigorous(), true
+				},
+			}},
+			Exact: func(a, b int) float64 { return tab.SumF(a, b) },
+		}
+	}
+
 	fmt.Printf("synopsis %s: n=%d, %d words\n", syn.Name(), syn.N(), syn.StorageWords())
 	for _, qs := range queries {
 		a, b, err := parseRange(qs, syn.N())
 		if err != nil {
 			fatal(err)
+		}
+		if planner != nil {
+			ans, err := planner.Query(view, "", a, b, *maxErr)
+			if err != nil {
+				fatal(err)
+			}
+			var exact int64
+			for i := a; i <= b; i++ {
+				exact += counts[i]
+			}
+			fmt.Printf("  s[%d,%d] ≈ %.2f ±%.2f   path %s   exact %d   abs.err %.2f\n",
+				a, b, ans.Value, ans.Bound, ans.Path, exact, abs(ans.Value-float64(exact)))
+			continue
 		}
 		est := syn.Estimate(a, b)
 		if counts != nil {

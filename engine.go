@@ -122,7 +122,7 @@ type SynopsisInfo struct {
 func (e *Engine) Describe(name string) (SynopsisInfo, error) {
 	s, err := e.inner.Synopsis(name)
 	if err != nil {
-		return SynopsisInfo{}, err
+		return SynopsisInfo{}, wrapEngineErr(err)
 	}
 	return SynopsisInfo{
 		Name:         s.Name,
@@ -143,13 +143,36 @@ func (e *Engine) Describe(name string) (SynopsisInfo, error) {
 // capability — the average-representation histogram family.
 func (e *Engine) MergeFrom(other *Engine, name string) error {
 	_, err := e.inner.MergeFrom(other.inner, name)
-	return err
+	return wrapEngineErr(err)
 }
 
 // Approx answers a range aggregate from a named synopsis; the range is
-// clamped to the domain.
+// clamped to the domain. An unknown name yields *UnknownSynopsisError.
 func (e *Engine) Approx(name string, a, b int) (float64, error) {
-	return e.inner.Approx(name, a, b)
+	v, err := e.inner.Approx(name, a, b)
+	return v, wrapEngineErr(err)
+}
+
+// ApproxAnswer is an approximate answer together with its error
+// certificate: ErrBound bounds |exact − Value|. Rigorous reports
+// whether the bound is a guarantee from the synopsis's error model;
+// when the method has no model the bound is +Inf and Rigorous is false.
+type ApproxAnswer struct {
+	Value    float64
+	ErrBound float64
+	Rigorous bool
+}
+
+// ApproxWithError answers a range aggregate like Approx and attaches
+// the synopsis's per-range error bound, computed at build time against
+// the data the synopsis summarized. A fully-outside range returns the
+// exact answer 0 with a zero bound.
+func (e *Engine) ApproxWithError(name string, a, b int) (ApproxAnswer, error) {
+	ans, err := e.inner.ApproxWithError(name, a, b)
+	if err != nil {
+		return ApproxAnswer{}, wrapEngineErr(err)
+	}
+	return ApproxAnswer{Value: ans.Value, ErrBound: ans.ErrBound, Rigorous: ans.Rigorous}, nil
 }
 
 // ApproxBatch answers a batch of range aggregates from one named synopsis.
@@ -163,13 +186,14 @@ func (e *Engine) ApproxBatch(name string, queries []Range) ([]float64, error) {
 	for i, q := range queries {
 		qs[i] = sse.Range{A: q.A, B: q.B}
 	}
-	return e.inner.ApproxBatch(name, qs)
+	vs, err := e.inner.ApproxBatch(name, qs)
+	return vs, wrapEngineErr(err)
 }
 
 // Refresh rebuilds a registered synopsis from the current data.
 func (e *Engine) Refresh(name string) error {
 	_, err := e.inner.Refresh(name)
-	return err
+	return wrapEngineErr(err)
 }
 
 // Report evaluates a synopsis's error over a workload against the current
@@ -181,7 +205,7 @@ func (e *Engine) Report(name string, queries []Range) (Metrics, error) {
 	}
 	m, err := e.inner.Report(name, qs)
 	if err != nil {
-		return Metrics{}, err
+		return Metrics{}, wrapEngineErr(err)
 	}
 	return Metrics{Queries: m.Queries, SSE: m.SSE, MAE: m.MAE,
 		MaxAbs: m.MaxAbs, RMS: m.RMS, MeanRel: m.MeanRel}, nil
@@ -190,7 +214,8 @@ func (e *Engine) Report(name string, queries []Range) (Metrics, error) {
 // SynopsisSSE returns the exact SSE of a registered synopsis over all
 // ranges of the current data.
 func (e *Engine) SynopsisSSE(name string) (float64, error) {
-	return e.inner.SSE(name)
+	v, err := e.inner.SSE(name)
+	return v, wrapEngineErr(err)
 }
 
 // SetAutoRefresh enables synopsis maintenance: any synopsis more than
@@ -213,7 +238,7 @@ type ProgressiveStep struct {
 func (e *Engine) Progressive(name string, a, b, chunks int) ([]ProgressiveStep, error) {
 	steps, err := e.inner.Progressive(name, a, b, chunks)
 	if err != nil {
-		return nil, err
+		return nil, wrapEngineErr(err)
 	}
 	out := make([]ProgressiveStep, len(steps))
 	for i, s := range steps {

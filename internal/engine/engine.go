@@ -9,6 +9,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -49,7 +50,7 @@ func ParseMetric(s string) (Metric, error) {
 	case "SUM":
 		return Sum, nil
 	}
-	return 0, fmt.Errorf("engine: unknown metric %q", s)
+	return 0, &UnknownMetricError{Scope: "engine", Name: s}
 }
 
 // Engine is a single-column store over the integer domain [0, domain).
@@ -77,6 +78,10 @@ type Synopsis struct {
 	Options build.Options
 	// Est is the underlying estimator.
 	Est build.Estimator
+	// ErrModel bounds the estimator's per-range error against the data it
+	// was built from (nil when the method has no error model). Bounds
+	// refer to the data at Version; staleness widens them unaccounted.
+	ErrModel method.ErrorModel
 	// Version of the engine data when built; staleness is the number of
 	// mutations since.
 	Version int64
@@ -257,12 +262,27 @@ func (e *Engine) BuildSynopsis(name string, metric Metric, opt build.Options) (*
 	if err != nil {
 		return nil, fmt.Errorf("engine: building synopsis %q: %w", name, err)
 	}
-	s := &Synopsis{Name: name, Metric: metric, Options: opt, Est: est, Version: version}
+	em, err := errModelFor(opt, counts, est)
+	if err != nil {
+		return nil, fmt.Errorf("engine: error model for %q: %w", name, err)
+	}
+	s := &Synopsis{Name: name, Metric: metric, Options: opt, Est: est, ErrModel: em, Version: version}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.synopses[name] = s
 	return s, nil
+}
+
+// errModelFor builds the per-range error model of a freshly constructed
+// estimator when its method is error-bounded; counts must be the series
+// the estimator was built from.
+func errModelFor(opt build.Options, counts []int64, est build.Estimator) (method.ErrorModel, error) {
+	d, err := method.Lookup(opt.Method)
+	if err != nil || !d.Caps.Has(method.ErrorBounded) {
+		return nil, nil
+	}
+	return d.ErrorBound(prefix.NewTable(counts), est)
 }
 
 // SynopsisSpec names one synopsis of a BuildSynopses batch.
@@ -311,7 +331,12 @@ func (e *Engine) BuildSynopses(specs []SynopsisSpec) ([]*Synopsis, error) {
 			errs[i] = fmt.Errorf("engine: building synopsis %q: %w", sp.Name, err)
 			return
 		}
-		out[i] = &Synopsis{Name: sp.Name, Metric: sp.Metric, Options: sp.Options, Est: est, Version: version}
+		em, err := errModelFor(sp.Options, countsByMetric[sp.Metric], est)
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: error model for %q: %w", sp.Name, err)
+			return
+		}
+		out[i] = &Synopsis{Name: sp.Name, Metric: sp.Metric, Options: sp.Options, Est: est, ErrModel: em, Version: version}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -348,7 +373,7 @@ func (e *Engine) MergeFrom(other *Engine, name string) (*Synopsis, error) {
 	o, ok := other.synopses[name]
 	other.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("engine: source engine has no synopsis named %q", name)
+		return nil, &UnknownSynopsisError{Scope: "engine: source engine", Name: name}
 	}
 	return e.AbsorbShard(name, shardCounts, o.Metric, o.Options, o.Est)
 }
@@ -410,7 +435,12 @@ func (e *Engine) AbsorbShard(name string, shardCounts []int64, metric Metric, op
 	}
 	e.records += shardRecords
 	e.version++
-	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, Version: e.version}
+	// The merged estimator now summarizes the union distribution, so its
+	// error model is rebuilt against the post-merge data. A model failure
+	// is not fatal: the absorption (a logged, replayable mutation) already
+	// happened, so the synopsis just serves without bounds.
+	em, _ := errModelFor(opts, e.metricCounts(metric), est)
+	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, ErrModel: em, Version: e.version}
 	e.synopses[name] = s
 	return s, nil
 }
@@ -423,7 +453,10 @@ func (e *Engine) AbsorbShard(name string, shardCounts []int64, metric Metric, op
 func (e *Engine) InstallSynopsis(name string, metric Metric, opts build.Options, est build.Estimator) *Synopsis {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, Version: e.version}
+	// Recovered estimators get their error model rebuilt against the
+	// recovered data; a failure leaves the synopsis serving unbounded.
+	em, _ := errModelFor(opts, e.metricCounts(metric), est)
+	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, ErrModel: em, Version: e.version}
 	e.synopses[name] = s
 	return s
 }
@@ -443,7 +476,7 @@ func (e *Engine) Synopsis(name string) (*Synopsis, error) {
 	defer e.mu.RUnlock()
 	s, ok := e.synopses[name]
 	if !ok {
-		return nil, fmt.Errorf("engine: no synopsis named %q", name)
+		return nil, &UnknownSynopsisError{Scope: "engine", Name: name}
 	}
 	return s, nil
 }
@@ -501,6 +534,45 @@ func (e *Engine) Approx(name string, a, b int) (float64, error) {
 		return 0, nil
 	}
 	return s.Est.Estimate(a, b), nil
+}
+
+// ApproxAnswer is an approximate answer together with its error
+// certificate: a bound on |exact − Value|. Rigorous reports whether the
+// bound is a guarantee from the synopsis's error model; when the
+// synopsis carries no model the bound is +Inf and Rigorous is false.
+type ApproxAnswer struct {
+	Value    float64
+	ErrBound float64
+	Rigorous bool
+}
+
+// ApproxWithError answers a range query like Approx and attaches the
+// synopsis's per-range error bound. A fully-outside range returns the
+// exact answer 0 with a zero bound.
+func (e *Engine) ApproxWithError(name string, a, b int) (ApproxAnswer, error) {
+	s, err := e.Synopsis(name)
+	if err != nil {
+		return ApproxAnswer{}, err
+	}
+	e.mu.RLock()
+	threshold := e.autoRefresh
+	stale := e.version - s.Version
+	e.mu.RUnlock()
+	if threshold > 0 && stale > threshold {
+		if s, err = e.BuildSynopsis(s.Name, s.Metric, s.Options); err != nil {
+			return ApproxAnswer{}, fmt.Errorf("engine: auto-refresh of %q: %w", name, err)
+		}
+	}
+	a, b, ok := clamp(a, b, e.domain)
+	if !ok {
+		return ApproxAnswer{Value: 0, ErrBound: 0, Rigorous: true}, nil
+	}
+	ans := ApproxAnswer{Value: s.Est.Estimate(a, b), ErrBound: math.Inf(1)}
+	if s.ErrModel != nil {
+		ans.ErrBound = s.ErrModel.Bound(a, b)
+		ans.Rigorous = s.ErrModel.Rigorous()
+	}
+	return ans, nil
 }
 
 // ApproxBatch answers a batch of range queries from one named synopsis,

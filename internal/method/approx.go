@@ -21,13 +21,14 @@ func init() {
 		Name:         "SAP0-APPROX",
 		Family:       "histogram",
 		WordsPerUnit: 3,
-		Caps:         Serializable | BucketBased | Approximate,
+		Caps:         Serializable | BucketBased | Approximate | ErrorBounded,
 		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
 			return approx.SAP0(tab, opt.Units, opt.Epsilon)
 		},
 		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
 			return histogram.NewSAP0FromBounds(tab, bk, label)
 		},
+		ErrorBound: errSAP,
 	})
 	Register(Descriptor{
 		ID:            A0Approx,
@@ -41,6 +42,7 @@ func init() {
 		},
 		FromBounds: avgFromBounds,
 		Merge:      mergeAvg,
+		ErrorBound: errCumulative,
 	})
 	Register(Descriptor{
 		ID:            PointOptApprox,
@@ -54,5 +56,6 @@ func init() {
 		},
 		FromBounds: avgFromBounds,
 		Merge:      mergeAvg,
+		ErrorBound: errCumulative,
 	})
 }

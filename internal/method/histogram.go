@@ -18,7 +18,7 @@ import (
 
 // avgCaps are the capabilities every average-representation histogram
 // shares.
-const avgCaps = Mergeable | PrefixDecomposable | Reoptimizable | Serializable | BucketBased
+const avgCaps = Mergeable | PrefixDecomposable | Reoptimizable | Serializable | BucketBased | ErrorBounded
 
 // mergeAvg is the Merge hook of the average family: exact shard merging
 // via boundary-union refinement (histogram.MergeAvg).
@@ -55,6 +55,7 @@ func avgHistogram(id ID, name string, construct func(tab *prefix.Table, b int, m
 		},
 		FromBounds: avgFromBounds,
 		Merge:      mergeAvg,
+		ErrorBound: errCumulative,
 	}
 }
 
@@ -68,12 +69,13 @@ func init() {
 		// NAIVE is a single-bucket average histogram, so it merges and
 		// re-optimizes like the rest of the family; it is excluded from
 		// the coarsen-lift path (nothing to lift).
-		Caps:          Mergeable | PrefixDecomposable | Reoptimizable | Serializable,
+		Caps:          Mergeable | PrefixDecomposable | Reoptimizable | Serializable | ErrorBounded,
 		PaperRounding: histogram.RoundNone,
 		Build: func(tab *prefix.Table, _ []int64, _ Opts) (Estimator, error) {
 			return histogram.NewNaive(tab), nil
 		},
-		Merge: mergeAvg,
+		Merge:      mergeAvg,
+		ErrorBound: errCumulative,
 	})
 	Register(avgHistogram(EquiWidth, "EQUI-WIDTH", dp.EquiWidthHist))
 	Register(avgHistogram(EquiDepth, "EQUI-DEPTH", dp.EquiDepthHist))

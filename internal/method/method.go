@@ -95,6 +95,11 @@ const (
 	// objective for near-linear build time (internal/approx); they require
 	// Opts.Epsilon ∈ (0,1) and the advisor sweeps ε as a knob.
 	Approximate
+	// ErrorBounded methods build a per-range error model at construction
+	// time (via the descriptor's ErrorBound hook), so every approximate
+	// answer can carry a bound on |exact − estimate| — the substrate of
+	// the error-budget planner (internal/plan).
+	ErrorBounded
 )
 
 // capNames orders the flag names for List/String.
@@ -111,6 +116,7 @@ var capNames = []struct {
 	{BucketBased, "bucket-based"},
 	{PseudoPolynomial, "pseudo-polynomial"},
 	{Approximate, "approximate"},
+	{ErrorBounded, "error-bounded"},
 }
 
 // Has reports whether every capability in want is present.
@@ -184,6 +190,11 @@ type Descriptor struct {
 	// domain into one answering with the exact sum (shard merging).
 	// Required exactly when Caps has Mergeable.
 	Merge func(a, b Estimator) (Estimator, error)
+	// ErrorBound builds the per-range error model of a freshly built
+	// estimator against the data it summarized (tab must be the
+	// prefix-moment table of that same data). Required exactly when Caps
+	// has ErrorBounded.
+	ErrorBound func(tab *prefix.Table, est Estimator) (ErrorModel, error)
 }
 
 // registry is fixed-size and filled by the descriptor files' init
@@ -210,6 +221,9 @@ func Register(d Descriptor) {
 	}
 	if d.Caps.Has(Mergeable) != (d.Merge != nil) {
 		panic(fmt.Sprintf("method: descriptor %q: Mergeable cap and Merge hook must agree", d.Name))
+	}
+	if d.Caps.Has(ErrorBounded) != (d.ErrorBound != nil) {
+		panic(fmt.Sprintf("method: descriptor %q: ErrorBounded cap and ErrorBound hook must agree", d.Name))
 	}
 	key := strings.ToUpper(d.Name)
 	if _, ok := byName[key]; ok {

@@ -34,6 +34,7 @@ func init() {
 		},
 		FromBounds: avgFromBounds,
 		Merge:      mergeAvg,
+		ErrorBound: errCumulative,
 	})
 	Register(Descriptor{
 		ID:            OptARounded,
@@ -57,5 +58,6 @@ func init() {
 		},
 		FromBounds: avgFromBounds,
 		Merge:      mergeAvg,
+		ErrorBound: errCumulative,
 	})
 }

@@ -20,38 +20,41 @@ func init() {
 		Name:         "SAP0",
 		Family:       "histogram",
 		WordsPerUnit: 3,
-		Caps:         Serializable | BucketBased,
+		Caps:         Serializable | BucketBased | ErrorBounded,
 		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
 			return dp.SAP0(tab, opt.Units)
 		},
 		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
 			return histogram.NewSAP0FromBounds(tab, bk, label)
 		},
+		ErrorBound: errSAP,
 	})
 	Register(Descriptor{
 		ID:           SAP1,
 		Name:         "SAP1",
 		Family:       "histogram",
 		WordsPerUnit: 5,
-		Caps:         Serializable | BucketBased,
+		Caps:         Serializable | BucketBased | ErrorBounded,
 		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
 			return dp.SAP1(tab, opt.Units)
 		},
 		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
 			return histogram.NewSAP1FromBounds(tab, bk, label)
 		},
+		ErrorBound: errSAP,
 	})
 	Register(Descriptor{
 		ID:           SAP2,
 		Name:         "SAP2",
 		Family:       "histogram",
 		WordsPerUnit: 7,
-		Caps:         Serializable | BucketBased,
+		Caps:         Serializable | BucketBased | ErrorBounded,
 		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
 			return dp.SAP2(tab, opt.Units)
 		},
 		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
 			return histogram.NewSAP2FromBounds(tab, bk, label)
 		},
+		ErrorBound: errSAP,
 	})
 }

@@ -20,20 +20,22 @@ func init() {
 		Name:         "TOPBB",
 		Family:       "wavelet",
 		WordsPerUnit: 2,
-		Caps:         PrefixDecomposable | Dynamic | Serializable,
+		Caps:         PrefixDecomposable | Dynamic | Serializable | ErrorBounded,
 		Build: func(_ *prefix.Table, counts []int64, opt Opts) (Estimator, error) {
 			return wavelet.NewData(counts, opt.Units)
 		},
+		ErrorBound: errCumulative,
 	})
 	Register(Descriptor{
 		ID:           WaveRangeOpt,
 		Name:         "WAVE-RANGEOPT",
 		Family:       "wavelet",
 		WordsPerUnit: 2,
-		Caps:         PrefixDecomposable | Dynamic | Serializable,
+		Caps:         PrefixDecomposable | Dynamic | Serializable | ErrorBounded,
 		Build: func(tab *prefix.Table, _ []int64, opt Opts) (Estimator, error) {
 			return wavelet.NewRangeOpt(tab, opt.Units)
 		},
+		ErrorBound: errCumulative,
 	})
 	Register(Descriptor{
 		ID:           WaveAA2D,

@@ -1,0 +1,88 @@
+package oracle_test
+
+import (
+	"math"
+	"testing"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/method"
+	"rangeagg/internal/prefix"
+)
+
+// TestErrorContract is the error-certificate differential: for every
+// error-bounded synopsis family, on every corpus distribution, at every
+// size in the grid, the per-range error model must cover the true
+// residual |exact − estimate| on 100% of the n(n+1)/2 ranges — the
+// contract the planner's per-answer confidence rests on — and the bound
+// must not be vacuous: on each instance the largest bound issued stays
+// within a constant factor of the largest residual actually observed.
+func TestErrorContract(t *testing.T) {
+	sizes := []int{64, 256, 512}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	// Vacuity factor: the models are interval bounds over cumulative
+	// error cells, so the worst bound can legitimately exceed the worst
+	// residual (two cells' spreads add), but never by more than this.
+	const slack = 4.0
+
+	for _, d := range method.All() {
+		if !d.Caps.Has(method.ErrorBounded) {
+			continue
+		}
+		opt := build.Options{Method: d.ID, BudgetWords: 20, Seed: 1}
+		if d.Caps.Has(method.Approximate) {
+			opt.Epsilon = 0.1
+		}
+		famSizes := sizes
+		if d.Caps.Has(method.PseudoPolynomial) {
+			// The exact pseudo-polynomial DP's state space grows with the
+			// data values; the advisor skips these families on large
+			// instances, and the contract grid mirrors that policy.
+			famSizes = sizes[:1]
+			opt.Epsilon = 0.25
+			opt.MaxStates = 1 << 22
+		}
+		for _, n := range famSizes {
+			for dname, counts := range datasets(t, n) {
+				est, err := build.Build(counts, opt)
+				if err != nil {
+					t.Fatalf("%s/%s/n=%d: build: %v", d.Name, dname, n, err)
+				}
+				tab := prefix.NewTable(counts)
+				em, err := d.ErrorBound(tab, est)
+				if err != nil {
+					t.Fatalf("%s/%s/n=%d: error model: %v", d.Name, dname, n, err)
+				}
+				if !em.Rigorous() {
+					t.Errorf("%s/%s/n=%d: model should be rigorous", d.Name, dname, n)
+				}
+				maxBound, maxResid := 0.0, 0.0
+				for a := 0; a < n; a++ {
+					for b := a; b < n; b++ {
+						bound := em.Bound(a, b)
+						resid := math.Abs(tab.SumF(a, b) - est.Estimate(a, b))
+						if bound < resid {
+							t.Fatalf("%s/%s/n=%d: range [%d,%d]: bound %g < residual %g",
+								d.Name, dname, n, a, b, bound, resid)
+						}
+						if bound > maxBound {
+							maxBound = bound
+						}
+						if resid > maxResid {
+							maxResid = resid
+						}
+					}
+				}
+				if mb := em.MaxBound(); maxBound > mb+1e-12*(1+mb) {
+					t.Errorf("%s/%s/n=%d: issued bound %g exceeds MaxBound %g",
+						d.Name, dname, n, maxBound, mb)
+				}
+				if maxBound > slack*maxResid+1e-6 {
+					t.Errorf("%s/%s/n=%d: vacuous bounds: max bound %g > %g × max residual %g",
+						d.Name, dname, n, maxBound, slack, maxResid)
+				}
+			}
+		}
+	}
+}

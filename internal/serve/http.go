@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -74,14 +75,23 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 		if err != nil {
 			return http.StatusBadRequest, err
 		}
-		snap := s.Snapshot()
-		var value float64
-		if q.Synopsis == "" {
-			value = float64(snap.exact(q.Metric, q.A, q.B))
-		} else if value, err = snap.Approx(q.Synopsis, q.A, q.B); err != nil {
-			return http.StatusNotFound, err
+		res, version := s.QueryOne(q)
+		if res.Err != nil {
+			return http.StatusNotFound, res.Err
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"value": value, "version": snap.Version})
+		resp := map[string]any{
+			"value":   res.Value,
+			"version": version,
+			"path":    res.Path.String(),
+			"source":  res.Source,
+		}
+		// JSON cannot encode +Inf: a model-less answer simply omits the
+		// bound instead of carrying a sentinel.
+		if !math.IsInf(res.Bound, 1) {
+			resp["err"] = res.Bound
+			resp["rigorous"] = res.Rigorous
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return 0, nil
 	})
 
@@ -90,6 +100,7 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 			Synopsis string   `json:"synopsis"`
 			Metric   string   `json:"metric"`
 			Ranges   [][2]int `json:"ranges"`
+			MaxErr   *float64 `json:"maxerr"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			return http.StatusBadRequest, fmt.Errorf("decoding batch request: %w", err)
@@ -98,19 +109,27 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 		if err != nil {
 			return http.StatusBadRequest, err
 		}
+		if req.MaxErr != nil && (*req.MaxErr < 0 || math.IsNaN(*req.MaxErr)) {
+			return http.StatusBadRequest, fmt.Errorf("maxerr must be a non-negative number, got %g", *req.MaxErr)
+		}
 		qs := make([]Query, len(req.Ranges))
 		for i, rg := range req.Ranges {
-			qs[i] = Query{Synopsis: req.Synopsis, Metric: metric, A: rg[0], B: rg[1]}
+			qs[i] = Query{Synopsis: req.Synopsis, Metric: metric, A: rg[0], B: rg[1], MaxErr: req.MaxErr}
 		}
 		results, version := s.QueryBatch(qs)
 		values := make([]float64, len(results))
+		errs := make([]*float64, len(results))
 		for i, res := range results {
 			if res.Err != nil {
 				return http.StatusNotFound, res.Err
 			}
 			values[i] = res.Value
+			if !math.IsInf(res.Bound, 1) {
+				bound := res.Bound
+				errs[i] = &bound
+			}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"values": values, "version": version})
+		writeJSON(w, http.StatusOK, map[string]any{"values": values, "errs": errs, "version": version})
 		return 0, nil
 	})
 
@@ -285,7 +304,18 @@ func queryFromURL(r *http.Request) (Query, error) {
 	if err != nil {
 		return q, fmt.Errorf("parameter b: %w", err)
 	}
-	return Query{Synopsis: v.Get("syn"), Metric: metric, A: a, B: b}, nil
+	q = Query{Synopsis: v.Get("syn"), Metric: metric, A: a, B: b}
+	if me := v.Get("maxerr"); me != "" {
+		f, err := strconv.ParseFloat(me, 64)
+		if err != nil {
+			return q, fmt.Errorf("parameter maxerr: %w", err)
+		}
+		if f < 0 || math.IsNaN(f) {
+			return q, fmt.Errorf("maxerr must be a non-negative number, got %g", f)
+		}
+		q.MaxErr = &f
+	}
+	return q, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -11,6 +11,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"rangeagg/internal/method"
 	"rangeagg/internal/obs"
 	"rangeagg/internal/parallel"
+	"rangeagg/internal/plan"
 	"rangeagg/internal/prefix"
 	"rangeagg/internal/wal"
 )
@@ -47,6 +49,9 @@ type Config struct {
 	// FanOut is the smallest batch QueryBatch spreads over the worker
 	// pool; smaller batches evaluate inline (default 128).
 	FanOut int
+	// CacheEntries sizes the planner's hot-range answer cache (default
+	// 4096 entries); a negative value disables caching.
+	CacheEntries int
 	// WAL, when non-nil, makes the server durable: the engine must be
 	// the DB's engine, every mutation path (ingest, load, shard merge)
 	// appends its log record before the call acknowledges, and a
@@ -69,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.FanOut <= 0 {
 		c.FanOut = 128
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
 	return c
 }
 
@@ -77,6 +85,10 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	eng *engine.Engine
 	cfg Config
+
+	// planner routes budgeted and synopsis queries through the cheapest
+	// path meeting each one's error bound, caching hot ranges.
+	planner *plan.Planner
 
 	snap atomic.Pointer[Snapshot]
 
@@ -104,18 +116,30 @@ type rebuildError struct{ err error }
 
 // Query is one range-aggregate request. A named Synopsis answers
 // approximately from the snapshot's estimator; an empty name answers
-// exactly (per Metric) from the snapshot's prefix tables.
+// exactly (per Metric) from the snapshot's prefix tables. A non-nil
+// MaxErr is an error budget: the planner answers by the cheapest path
+// whose error bound is within it, escalating through finer synopses and
+// finally the exact tables. Synopsis and MaxErr compose — the named
+// synopsis is probed first, escalation starts from there.
 type Query struct {
 	Synopsis string
 	Metric   engine.Metric
 	A, B     int
+	MaxErr   *float64
 }
 
 // Result is one answer. Err is set per query (e.g. unknown synopsis
-// name); the batch as a whole never fails.
+// name); the batch as a whole never fails. Bound bounds |exact − Value|
+// (+Inf when the answering synopsis has no error model); Rigorous
+// reports whether it is a guarantee; Path and Source say how the
+// planner answered.
 type Result struct {
-	Value float64
-	Err   error
+	Value    float64
+	Bound    float64
+	Rigorous bool
+	Path     plan.Path
+	Source   string
+	Err      error
 }
 
 // New builds the initial snapshot synchronously (so a successfully
@@ -131,6 +155,11 @@ func New(eng *engine.Engine, specs []engine.SynopsisSpec, cfg Config) (*Server, 
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	cacheEntries := s.cfg.CacheEntries
+	if cacheEntries < 0 {
+		cacheEntries = 0 // plan.New(≤0) disables the cache
+	}
+	s.planner = plan.New(cacheEntries)
 	for _, sh := range cfg.RecoveredShards {
 		for _, sp := range s.specs {
 			if sp.Name == sh.Name {
@@ -301,7 +330,7 @@ func (s *Server) MergeSynopsis(name string, est build.Estimator) error {
 	}
 	s.specMu.RUnlock()
 	if spec == nil {
-		return fmt.Errorf("serve: no synopsis named %q", name)
+		return &engine.UnknownSynopsisError{Scope: "serve", Name: name}
 	}
 	d, err := method.Lookup(spec.Options.Method)
 	if err != nil {
@@ -335,11 +364,49 @@ func (s *Server) MergeSynopsis(name string, est build.Estimator) error {
 
 // Query answers one request from the current snapshot.
 func (s *Server) Query(q Query) (float64, error) {
+	res, _ := s.QueryOne(q)
+	return res.Value, res.Err
+}
+
+// QueryOne answers one request from the current snapshot with the full
+// planned result (value, error bound, path) and the snapshot version.
+func (s *Server) QueryOne(q Query) (Result, int64) {
 	snap := s.snap.Load()
-	if q.Synopsis == "" {
-		return float64(snap.exact(q.Metric, q.A, q.B)), nil
+	return s.answer(snap, q), snap.Version
+}
+
+// CacheStats reports the planner's hot-range cache hit/miss counters.
+func (s *Server) CacheStats() plan.CacheStats { return s.planner.CacheStats() }
+
+// answer resolves one query against a pinned snapshot. Synopsis-less
+// queries without a budget take the exact fast path; everything else
+// goes through the planner, which attaches the error bound and caches
+// hot ranges under the snapshot's version.
+func (s *Server) answer(snap *Snapshot, q Query) Result {
+	if q.Synopsis == "" && q.MaxErr == nil {
+		return Result{Value: float64(snap.exact(q.Metric, q.A, q.B)),
+			Rigorous: true, Path: plan.PathExact, Source: "exact"}
 	}
-	return snap.Approx(q.Synopsis, q.A, q.B)
+	metric := q.Metric
+	if q.Synopsis != "" {
+		syn, ok := snap.syns[q.Synopsis]
+		if !ok {
+			return Result{Err: &engine.UnknownSynopsisError{Scope: "serve", Name: q.Synopsis}}
+		}
+		// A pinned synopsis answers its own metric, whatever the query
+		// says (matching the pre-planner Approx semantics).
+		metric = syn.Metric
+	}
+	maxErr := math.NaN() // planner convention: NaN = no budget
+	if q.MaxErr != nil {
+		maxErr = *q.MaxErr
+	}
+	ans, err := s.planner.Query(snap.View(metric), q.Synopsis, q.A, q.B, maxErr)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return Result{Value: ans.Value, Bound: ans.Bound, Rigorous: ans.Rigorous,
+		Path: ans.Path, Source: ans.Source}
 }
 
 // QueryBatch answers a batch of requests from one snapshot grab: every
@@ -355,12 +422,7 @@ func (s *Server) QueryBatch(qs []Query) ([]Result, int64) {
 	out := make([]Result, len(qs))
 	answer := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			q := qs[i]
-			if q.Synopsis == "" {
-				out[i].Value = float64(snap.exact(q.Metric, q.A, q.B))
-				continue
-			}
-			out[i].Value, out[i].Err = snap.Approx(q.Synopsis, q.A, q.B)
+			out[i] = s.answer(snap, qs[i])
 		}
 	}
 	if len(qs) >= s.cfg.FanOut {
@@ -430,7 +492,9 @@ func (s *Server) Rebuild() error {
 	// Fold accepted shard estimators into the fresh local synopses, in
 	// arrival order, so shard contributions survive the snapshot swap.
 	s.shardMu.RLock()
+	sharded := make([]bool, len(specs))
 	for i, sp := range specs {
+		sharded[i] = len(s.shards[sp.Name]) > 0
 		for _, shard := range s.shards[sp.Name] {
 			merged, err := method.MustLookup(sp.Options.Method).Merge(ests[i], shard)
 			if err != nil {
@@ -443,11 +507,33 @@ func (s *Server) Rebuild() error {
 		}
 	}
 	s.shardMu.RUnlock()
+	// Error models, built concurrently against the snapshot's own prefix
+	// tables. Shard-folded synopses get none: their answers cover remote
+	// records the local tables cannot see, so no local bound is valid. A
+	// model failure just leaves that synopsis serving unbounded.
+	ems := make([]method.ErrorModel, len(specs))
+	var mtasks []func()
 	for i, sp := range specs {
-		snap.syns[sp.Name] = &Synopsis{Name: sp.Name, Metric: sp.Metric, Options: sp.Options, Est: ests[i]}
+		d, err := method.Lookup(sp.Options.Method)
+		if sharded[i] || err != nil || !d.Caps.Has(method.ErrorBounded) {
+			continue
+		}
+		tab := snap.count
+		if sp.Metric == engine.Sum {
+			tab = snap.sum
+		}
+		i, d, tab := i, d, tab
+		mtasks = append(mtasks, func() { ems[i], _ = d.ErrorBound(tab, ests[i]) })
 	}
+	if len(mtasks) > 0 {
+		parallel.Do(mtasks...)
+	}
+	for i, sp := range specs {
+		snap.syns[sp.Name] = &Synopsis{Name: sp.Name, Metric: sp.Metric, Options: sp.Options, Est: ests[i], ErrModel: ems[i]}
+	}
+	snap.epoch = s.rebuilds.Add(1)
+	snap.buildViews()
 	s.snap.Store(snap)
-	s.rebuilds.Add(1)
 	s.lastErr.Store(&rebuildError{})
 	snapshotSwaps.Inc()
 	snapshotVersion.Set(snap.Version)

@@ -1,11 +1,12 @@
 package serve
 
 import (
-	"fmt"
 	"sort"
 
 	"rangeagg/internal/build"
 	"rangeagg/internal/engine"
+	"rangeagg/internal/method"
+	"rangeagg/internal/plan"
 	"rangeagg/internal/prefix"
 )
 
@@ -19,6 +20,10 @@ type Synopsis struct {
 	Options build.Options
 	// Est is the immutable estimator.
 	Est build.Estimator
+	// ErrModel is the per-range error model built against the snapshot's
+	// data, or nil when the method has none or the synopsis folds remote
+	// shards (whose records the local error model cannot see).
+	ErrModel method.ErrorModel
 }
 
 // Snapshot is one immutable, internally consistent view of a column: the
@@ -37,6 +42,15 @@ type Snapshot struct {
 	count *prefix.Table // exact COUNT path
 	sum   *prefix.Table // exact SUM path
 	syns  map[string]*Synopsis
+
+	// epoch is the publish sequence number keying the planner cache. It
+	// is NOT Version: shard merges and spec changes publish new snapshots
+	// (new estimators, same engine data), so the data version alone would
+	// let cached answers leak across them.
+	epoch int64
+	// views are the planner's per-metric pictures of the snapshot
+	// (indexed by engine.Count/engine.Sum), built once at publish time.
+	views [2]*plan.View
 }
 
 // ExactCount answers COUNT(*) WHERE a ≤ attr ≤ b from the snapshot. The
@@ -62,7 +76,7 @@ func (s *Snapshot) exact(m engine.Metric, a, b int) int64 {
 func (s *Snapshot) Approx(name string, a, b int) (float64, error) {
 	syn, ok := s.syns[name]
 	if !ok {
-		return 0, fmt.Errorf("serve: no synopsis named %q", name)
+		return 0, &engine.UnknownSynopsisError{Scope: "serve", Name: name}
 	}
 	a, b, ok2 := clamp(a, b, s.Domain)
 	if !ok2 {
@@ -75,9 +89,52 @@ func (s *Snapshot) Approx(name string, a, b int) (float64, error) {
 func (s *Snapshot) Synopsis(name string) (*Synopsis, error) {
 	syn, ok := s.syns[name]
 	if !ok {
-		return nil, fmt.Errorf("serve: no synopsis named %q", name)
+		return nil, &engine.UnknownSynopsisError{Scope: "serve", Name: name}
 	}
 	return syn, nil
+}
+
+// View returns the planner's picture of one metric at this snapshot:
+// every synopsis of the metric as a probe source (cheapest-first) plus
+// the exact prefix table as the fallback.
+func (s *Snapshot) View(m engine.Metric) *plan.View {
+	return s.views[m]
+}
+
+// buildViews derives the per-metric planner views; called once by
+// Rebuild after the prefix tables and synopses are in place.
+func (s *Snapshot) buildViews() {
+	for _, m := range [2]engine.Metric{engine.Count, engine.Sum} {
+		tab := s.count
+		if m == engine.Sum {
+			tab = s.sum
+		}
+		v := &plan.View{
+			Version: s.epoch,
+			Metric:  m.String(),
+			Domain:  s.Domain,
+			Exact:   func(a, b int) float64 { return float64(tab.Sum(a, b)) },
+		}
+		for _, syn := range s.syns {
+			if syn.Metric != m {
+				continue
+			}
+			em := syn.ErrModel
+			v.Sources = append(v.Sources, plan.Source{
+				Name:     syn.Name,
+				Words:    syn.Est.StorageWords(),
+				Estimate: syn.Est.Estimate,
+				Bound: func(a, b int) (float64, bool, bool) {
+					if em == nil {
+						return 0, false, false
+					}
+					return em.Bound(a, b), em.Rigorous(), true
+				},
+			})
+		}
+		plan.OrderSources(v.Sources)
+		s.views[m] = v
+	}
 }
 
 // Names lists the published synopsis names, sorted.

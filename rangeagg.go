@@ -31,10 +31,12 @@
 package rangeagg
 
 import (
+	"errors"
 	"fmt"
 
 	"rangeagg/internal/build"
 	"rangeagg/internal/dataset"
+	"rangeagg/internal/engine"
 	"rangeagg/internal/histogram"
 	"rangeagg/internal/method"
 	"rangeagg/internal/prefix"
@@ -127,6 +129,46 @@ type UnknownMethodError struct {
 
 func (e *UnknownMethodError) Error() string {
 	return fmt.Sprintf("rangeagg: unknown method %d", int(e.Method))
+}
+
+// UnknownSynopsisError reports an engine query naming a synopsis that
+// was never built or has been dropped. Every facade entry point that
+// resolves a synopsis name returns this one type, so callers branch
+// with errors.As instead of matching message shapes — and the unknown-
+// name and unknown-metric paths fail with the same typed-error shape.
+type UnknownSynopsisError struct {
+	// Name is the synopsis name that failed to resolve.
+	Name string
+}
+
+func (e *UnknownSynopsisError) Error() string {
+	return fmt.Sprintf("rangeagg: no synopsis named %q", e.Name)
+}
+
+// UnknownMetricError reports an unparseable metric name (reaches the
+// facade through persisted or remote configurations; the Metric enum
+// itself cannot express one).
+type UnknownMetricError struct {
+	// Name is the metric string that failed to parse.
+	Name string
+}
+
+func (e *UnknownMetricError) Error() string {
+	return fmt.Sprintf("rangeagg: unknown metric %q", e.Name)
+}
+
+// wrapEngineErr translates the internal engine's typed errors into
+// their public facade counterparts, passing everything else through.
+func wrapEngineErr(err error) error {
+	var us *engine.UnknownSynopsisError
+	if errors.As(err, &us) {
+		return &UnknownSynopsisError{Name: us.Name}
+	}
+	var um *engine.UnknownMetricError
+	if errors.As(err, &um) {
+		return &UnknownMetricError{Name: um.Name}
+	}
+	return err
 }
 
 // InvalidEpsilonError reports an approximation parameter outside (0,1)

@@ -43,11 +43,11 @@ import (
 // without the Benchmark prefix or the -GOMAXPROCS suffix, so baselines
 // compare across machines with different core counts).
 type baselineFile struct {
-	Bench     string             `json:"bench"`
-	Benchtime string             `json:"benchtime"`
-	Count     int                `json:"count"`
-	Go        string             `json:"go"`
-	Note      string             `json:"note,omitempty"`
+	Bench     string `json:"bench"`
+	Benchtime string `json:"benchtime"`
+	Count     int    `json:"count"`
+	Go        string `json:"go"`
+	Note      string `json:"note,omitempty"`
 	// CalibrationNs is the reference-loop time measured alongside the
 	// baseline run; comparisons are scaled by the ratio of the current
 	// machine's calibration to this, so a uniformly slower (or faster)
@@ -58,7 +58,7 @@ type baselineFile struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "ConstructScaling|ServeHTTP", "benchmark regex to gate")
+		bench     = flag.String("bench", "ConstructScaling|ServeHTTP|PlannerPaths", "benchmark regex to gate")
 		pkg       = flag.String("pkg", ".", "package pattern holding the benchmarks")
 		count     = flag.Int("count", 6, "benchmark repetitions (median taken per benchmark)")
 		benchtime = flag.String("benchtime", "300ms", "per-run benchtime")
