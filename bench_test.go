@@ -642,3 +642,48 @@ func BenchmarkPlannerPaths(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSegmentedRebuild measures the tentpole claim of the segmented
+// architecture: after a point mutation, refreshing a K=8 segmented
+// synopsis (one dirty segment rebuilt, seven carried over) versus the
+// full monolithic rebuild it replaces, both through the engine at
+// n=65536 with the same word budget and including the per-range error
+// model. The dirty path must stay well ahead (≥3× in CI's gate).
+func BenchmarkSegmentedRebuild(b *testing.B) {
+	const n = 65536
+	d, err := dataset.Zipf(dataset.ZipfConfig{N: n, Alpha: 1.2, MaxCount: 1000, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opt build.Options) {
+		eng, err := engine.New("bench", n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Load(d.Counts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.BuildSynopsis("s", engine.Count, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The O(1) insert rides inside the timed region: it is noise-level
+			// next to the rebuild, and stopping the timer around it costs
+			// more jitter than it removes.
+			if err := eng.Insert(100+i%64, 1); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.BuildSynopsis("s", engine.Count, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("dirty-1-of-8", func(b *testing.B) {
+		run(b, build.Options{Method: build.Segmented, BudgetWords: 256, Segments: 8})
+	})
+	b.Run("full-monolithic", func(b *testing.B) {
+		run(b, build.Options{Method: build.A0Approx, BudgetWords: 256, Epsilon: 0.1})
+	})
+}

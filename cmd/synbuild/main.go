@@ -6,13 +6,16 @@
 //	synbuild -in data.csv -method OPT-A -budget 32 -o synopsis.json
 //	synbuild -in data.csv -method A0 -budget 16 -reopt
 //	synbuild -in data.csv -method SAP0-APPROX -epsilon 0.1 -budget 32
+//	synbuild -in data.csv -method SEGMENTED -segments 8 -budget 64
 //
 // Methods: NAIVE, EQUI-WIDTH, EQUI-DEPTH, MAXDIFF, V-OPT, POINT-OPT, A0,
 // SAP0, SAP1, OPT-A, OPT-A-ROUNDED, TOPBB, WAVE-RANGEOPT, WAVE-AA2D
-// (WAVE-AA2D is build-and-query only; it has no serialized form), and the
+// (WAVE-AA2D is build-and-query only; it has no serialized form), the
 // near-linear (1+ε)-approximate constructions SAP0-APPROX, A0-APPROX,
 // POINT-OPT-APPROX, which require -epsilon in (0,1) and scale to domains
-// of millions of values.
+// of millions of values, and SEGMENTED, which partitions the domain into
+// -segments pieces (-segment-policy equi-width or weight-balanced) and
+// distributes -budget across them by marginal gain.
 package main
 
 import (
@@ -36,6 +39,8 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		eps    = flag.Float64("epsilon", 0, "approximation target in (0,1): required by the *-APPROX methods, OPT-A-ROUNDED's quality target otherwise")
 		x      = flag.Int64("x", 0, "OPT-A-ROUNDED rounding parameter (overrides epsilon)")
+		segs   = flag.Int("segments", 0, "SEGMENTED: segment count (0 = default 8)")
+		policy = flag.String("segment-policy", "", "SEGMENTED: partition policy, equi-width (default) or weight-balanced")
 		out    = flag.String("o", "-", "output synopsis file (- for stdout)")
 		report = flag.Bool("sse", true, "print the SSE over all ranges to stderr")
 	)
@@ -52,6 +57,7 @@ func main() {
 	syn, err := rangeagg.Build(d.Counts, rangeagg.Options{
 		Method: m, BudgetWords: *budget, Reopt: *doRe,
 		Seed: *seed, Epsilon: *eps, RoundedX: *x,
+		Segments: *segs, SegmentPolicy: *policy,
 	})
 	if err != nil {
 		fatal(err)

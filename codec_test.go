@@ -10,7 +10,7 @@ import (
 
 func TestSynopsisCodecRoundTrip(t *testing.T) {
 	counts, _ := ZipfCounts(25, 1.8, 400, 5)
-	for _, m := range []Method{Naive, EquiWidth, A0, SAP0, SAP1, PointOpt, WaveTopBB, WaveRangeOpt, WaveAA2D, PrefixOpt, SAP2, SAP0Approx, A0Approx, PointOptApprox} {
+	for _, m := range []Method{Naive, EquiWidth, A0, SAP0, SAP1, PointOpt, WaveTopBB, WaveRangeOpt, WaveAA2D, PrefixOpt, SAP2, SAP0Approx, A0Approx, PointOptApprox, Segmented} {
 		syn, err := Build(counts, Options{Method: m, BudgetWords: 12, Seed: 1, Epsilon: 0.25})
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
@@ -66,6 +66,7 @@ func TestWriteSynopsisFamilyDispatch(t *testing.T) {
 		{WaveTopBB, "wavelet"},
 		{WaveRangeOpt, "wavelet"},
 		{WaveAA2D, "wavelet"},
+		{Segmented, "segmented"},
 	}
 	if len(cases) != len(Methods()) {
 		t.Fatalf("table covers %d methods, package has %d", len(cases), len(Methods()))

@@ -64,6 +64,7 @@ const (
 	SAP0Approx     = method.SAP0Approx
 	A0Approx       = method.A0Approx
 	PointOptApprox = method.PointOptApprox
+	Segmented      = method.Segmented
 )
 
 // ParseMethod resolves a method from its paper name (case-insensitive).
@@ -87,6 +88,10 @@ type Options struct {
 	MaxStates   int                `json:"max_states,omitempty"`
 	CoarsenTo   int                `json:"coarsen_to,omitempty"`
 	Rounding    histogram.Rounding `json:"rounding,omitempty"`
+	// Segments and SegmentPolicy parameterize the SEGMENTED family's
+	// partition; other methods ignore them.
+	Segments      int    `json:"segments,omitempty"`
+	SegmentPolicy string `json:"segment_policy,omitempty"`
 }
 
 // Units converts the word budget into the method's bucket (or
@@ -107,12 +112,15 @@ func (o Options) Units() int {
 // construction parameters.
 func (o Options) methodOpts() method.Opts {
 	return method.Opts{
-		Units:     o.Units(),
-		Rounding:  o.Rounding,
-		Seed:      o.Seed,
-		Epsilon:   o.Epsilon,
-		RoundedX:  o.RoundedX,
-		MaxStates: o.MaxStates,
+		Units:         o.Units(),
+		Rounding:      o.Rounding,
+		Seed:          o.Seed,
+		Epsilon:       o.Epsilon,
+		RoundedX:      o.RoundedX,
+		MaxStates:     o.MaxStates,
+		Segments:      o.Segments,
+		SegmentPolicy: o.SegmentPolicy,
+		BudgetWords:   o.BudgetWords,
 	}
 }
 

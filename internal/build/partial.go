@@ -1,0 +1,64 @@
+package build
+
+import (
+	"fmt"
+	"time"
+
+	"rangeagg/internal/method"
+)
+
+// CanRebuild reports whether opt's method supports partial rebuilds
+// (has a registry Rebuild hook).
+func CanRebuild(opt Options) bool {
+	d, err := method.Lookup(opt.Method)
+	return err == nil && d.Rebuild != nil
+}
+
+// Rebuild refreshes prev after mutations confined to the value window
+// [lo,hi], via the method's registry Rebuild hook: only the affected
+// sub-structures are reconstructed from counts, the rest carry over.
+// opt must be the options prev was built with.
+func Rebuild(counts []int64, opt Options, prev Estimator, lo, hi int) (Estimator, method.RebuildStats, error) {
+	d, err := method.Lookup(opt.Method)
+	if err != nil {
+		return nil, method.RebuildStats{}, fmt.Errorf("build: unknown method %d", int(opt.Method))
+	}
+	if d.Rebuild == nil {
+		return nil, method.RebuildStats{}, fmt.Errorf("build: %s does not support partial rebuilds", d.Name)
+	}
+	defer phaseSeconds(d.Name, "rebuild").Since(time.Now())
+	return d.Rebuild(counts, prev, lo, hi, opt.methodOpts())
+}
+
+// DefaultApproxCutover is the domain size at and above which engine and
+// serve substitute a method's (1+ε)-approximate counterpart for its
+// exact construction: below it the quadratic DPs finish in milliseconds
+// and optimality is free; above it the near-linear builder is the only
+// interactive option.
+const DefaultApproxCutover = 32768
+
+// WithApprox returns the options rebuilds should construct with for a
+// domain of the given size: when the domain is at or above the cutover
+// and the method has a registered approximate counterpart, the
+// counterpart is substituted (with a defaulted Epsilon if the caller
+// did not pin one). cutover 0 selects DefaultApproxCutover; a negative
+// cutover disables substitution. Explicit coarsen-lift scaling
+// (CoarsenTo) wins over substitution — the caller already chose a
+// scaling path.
+func WithApprox(opt Options, domain, cutover int) Options {
+	if cutover == 0 {
+		cutover = DefaultApproxCutover
+	}
+	if cutover < 0 || domain < cutover || opt.CoarsenTo > 0 {
+		return opt
+	}
+	d, err := method.Lookup(opt.Method)
+	if err != nil || d.ApproxCounterpart == 0 || opt.Method == d.ApproxCounterpart {
+		return opt
+	}
+	opt.Method = d.ApproxCounterpart
+	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
+		opt.Epsilon = 0.1
+	}
+	return opt
+}

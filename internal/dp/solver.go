@@ -41,11 +41,21 @@ const chunkGrain = 32
 // embarrassingly parallel. Results are identical at any pool width because
 // cells are assigned by index and each kernel call is deterministic.
 func solveLayers(n, maxBuckets int, kernel rowKernel) (starts []int, total float64, err error) {
+	starts, total, _, err = solveLayersCurve(n, maxBuckets, kernel)
+	return starts, total, err
+}
+
+// solveLayersCurve is solveLayers, additionally surfacing the per-layer
+// optima finals[k] = best cost of covering all n values with exactly k
+// buckets (finals[0] = +inf). The layer DP computes these anyway; the
+// segment allocator reads them as the error-vs-space curve of one
+// segment.
+func solveLayersCurve(n, maxBuckets int, kernel rowKernel) (starts []int, total float64, finals []float64, err error) {
 	if n <= 0 {
-		return nil, 0, fmt.Errorf("dp: empty domain (n=%d)", n)
+		return nil, 0, nil, fmt.Errorf("dp: empty domain (n=%d)", n)
 	}
 	if maxBuckets <= 0 {
-		return nil, 0, fmt.Errorf("dp: need at least one bucket, got %d", maxBuckets)
+		return nil, 0, nil, fmt.Errorf("dp: need at least one bucket, got %d", maxBuckets)
 	}
 	if maxBuckets > n {
 		maxBuckets = n
@@ -58,7 +68,7 @@ func solveLayers(n, maxBuckets int, kernel rowKernel) (starts []int, total float
 	prev[0] = 0 // layer 0: zero buckets cover exactly zero values
 	// choice[k*(n+1)+i] is the backtracking pointer of cell (k, i).
 	choice := make([]int32, (maxBuckets+1)*(n+1))
-	finals := make([]float64, maxBuckets+1)
+	finals = make([]float64, maxBuckets+1)
 	finals[0] = inf
 	for k := 1; k <= maxBuckets; k++ {
 		// Feasible window of the previous layer: layer 0 is feasible only
@@ -87,7 +97,7 @@ func solveLayers(n, maxBuckets int, kernel rowKernel) (starts []int, total float
 		}
 	}
 	if bestK == 0 {
-		return nil, 0, fmt.Errorf("dp: no feasible bucketing for n=%d B=%d", n, maxBuckets)
+		return nil, 0, nil, fmt.Errorf("dp: no feasible bucketing for n=%d B=%d", n, maxBuckets)
 	}
 	starts = make([]int, bestK)
 	i := n
@@ -96,7 +106,7 @@ func solveLayers(n, maxBuckets int, kernel rowKernel) (starts []int, total float
 		starts[k-1] = j
 		i = j
 	}
-	return starts, bestCost, nil
+	return starts, bestCost, finals, nil
 }
 
 // closureKernel adapts an arbitrary CostFunc to a rowKernel. Specialized
@@ -134,6 +144,21 @@ func closureKernel(cost CostFunc) rowKernel {
 // over the shared worker pool; the result is identical at any pool width.
 func Solve(n, maxBuckets int, cost CostFunc) (starts []int, total float64, err error) {
 	return solveLayers(n, maxBuckets, closureKernel(cost))
+}
+
+// SolveCurve runs the same layered DP as Solve but returns the whole
+// error-vs-space curve instead of just its minimum: curve[k] is the
+// optimal cost of partitioning [0,n) into exactly k non-empty contiguous
+// buckets, for k = 1..min(maxBuckets, n); curve[0] is +inf (zero buckets
+// cover nothing). The curve is what a budget allocator needs — marginal
+// gains curve[k]−curve[k+1] per added bucket — and costs no more than one
+// Solve (the per-layer optima fall out of the rolling rows).
+//
+// The curve is not forced monotone: for costs that are not non-increasing
+// in bucket count the caller applies a running minimum.
+func SolveCurve(n, maxBuckets int, cost CostFunc) ([]float64, error) {
+	_, _, finals, err := solveLayersCurve(n, maxBuckets, closureKernel(cost))
+	return finals, err
 }
 
 // SolveReference is the seed implementation of Solve — full 2-D tables, a

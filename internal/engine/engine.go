@@ -66,7 +66,13 @@ type Engine struct {
 	// more than this many mutations happened since it was built.
 	autoRefresh int64
 
+	// approxCutover configures build.WithApprox substitution for rebuilds
+	// (0 = default, negative = disabled).
+	approxCutover int
+
 	synopses map[string]*Synopsis
+	// watch tracks the mutated value window per rebuild-capable synopsis.
+	watch map[string]*dirtyWindow
 }
 
 // Synopsis is a built summary registered under a name.
@@ -97,6 +103,7 @@ func New(name string, domain int) (*Engine, error) {
 		domain:   domain,
 		counts:   make([]int64, domain),
 		synopses: make(map[string]*Synopsis),
+		watch:    make(map[string]*dirtyWindow),
 	}, nil
 }
 
@@ -115,6 +122,7 @@ func (e *Engine) Load(counts []int64) error {
 		e.records += c
 	}
 	e.version++
+	e.markDirtyAll()
 	return nil
 }
 
@@ -131,6 +139,7 @@ func (e *Engine) Insert(value int, occurrences int64) error {
 	e.counts[value] += occurrences
 	e.records += occurrences
 	e.version++
+	e.markDirtyValue(value)
 	return nil
 }
 
@@ -151,6 +160,7 @@ func (e *Engine) Delete(value int, occurrences int64) error {
 	e.counts[value] -= occurrences
 	e.records -= occurrences
 	e.version++
+	e.markDirtyValue(value)
 	return nil
 }
 
@@ -251,27 +261,78 @@ func clamp(a, b, domain int) (int, int, bool) {
 }
 
 // BuildSynopsis constructs and registers a synopsis under the given name,
-// replacing any previous one with that name.
+// replacing any previous one with that name. When the previous synopsis
+// under the name has the same spec, its method supports partial rebuilds,
+// and the mutations since it was built are confined to a value window,
+// only the affected sub-structures are reconstructed (the dirty-segment
+// path); everything else is a full build. Domains at or above the approx
+// cutover construct through the method's (1+ε)-approximate counterpart
+// while the registered options stay as given.
 func (e *Engine) BuildSynopsis(name string, metric Metric, opt build.Options) (*Synopsis, error) {
 	e.mu.Lock()
 	counts := e.metricCounts(metric)
 	version := e.version
+	eff := build.WithApprox(opt, e.domain, e.approxCutover)
+	prev := e.synopses[name]
+	var win dirtyWindow
+	captured := false
+	if !build.CanRebuild(opt) {
+		delete(e.watch, name)
+	} else {
+		// The window must exist before the unlocked build so concurrent
+		// mutations land in it. A window created late (previous synopsis
+		// installed by a path without tracking) starts fully dirty.
+		w := e.watch[name]
+		if w == nil {
+			w = &dirtyWindow{}
+			if prev != nil {
+				w.markAll()
+			}
+			e.watch[name] = w
+		}
+		if prev != nil && prev.Metric == metric && prev.Options == opt {
+			win, *w = *w, dirtyWindow{}
+			captured = true
+		}
+	}
 	e.mu.Unlock()
 
-	est, err := build.Build(counts, opt)
-	if err != nil {
-		return nil, fmt.Errorf("engine: building synopsis %q: %w", name, err)
+	if captured && !win.any && prev.Version == version {
+		// Nothing mutated since the previous build: it is already current.
+		return prev, nil
 	}
-	em, err := errModelFor(opt, counts, est)
-	if err != nil {
-		return nil, fmt.Errorf("engine: error model for %q: %w", name, err)
-	}
-	s := &Synopsis{Name: name, Metric: metric, Options: opt, Est: est, ErrModel: em, Version: version}
+	partial := captured && win.any && !win.all
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.synopses[name] = s
-	return s, nil
+	var est build.Estimator
+	var err error
+	if partial {
+		est, _, err = build.Rebuild(counts, opt, prev.Est, win.lo, win.hi)
+	} else {
+		est, err = build.Build(counts, eff)
+	}
+	if err == nil {
+		var em method.ErrorModel
+		if em, err = errModelFor(opt, counts, est); err == nil {
+			s := &Synopsis{Name: name, Metric: metric, Options: opt, Est: est, ErrModel: em, Version: version}
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.synopses[name] = s
+			return s, nil
+		}
+		err = fmt.Errorf("engine: error model for %q: %w", name, err)
+	} else {
+		err = fmt.Errorf("engine: building synopsis %q: %w", name, err)
+	}
+	if captured {
+		// The captured mutations were not absorbed into any synopsis; put
+		// them back so the next rebuild still covers them.
+		e.mu.Lock()
+		if w, ok := e.watch[name]; ok {
+			w.merge(win)
+		}
+		e.mu.Unlock()
+	}
+	return nil, err
 }
 
 // errModelFor builds the per-range error model of a freshly constructed
@@ -314,19 +375,38 @@ func (e *Engine) BuildSynopses(specs []SynopsisSpec) ([]*Synopsis, error) {
 	}
 	e.mu.Lock()
 	version := e.version
+	cutover := e.approxCutover
 	countsByMetric := map[Metric][]int64{}
+	// Reset (or create) the dirty windows at the snapshot, so mutations
+	// landing during the unlocked builds are tracked for the next partial
+	// rebuild. The previous windows are kept aside to restore on failure.
+	prevWins := make(map[string]dirtyWindow)
 	for _, sp := range specs {
 		if _, ok := countsByMetric[sp.Metric]; !ok {
 			countsByMetric[sp.Metric] = e.metricCounts(sp.Metric)
 		}
+		if w, ok := e.watch[sp.Name]; ok {
+			prevWins[sp.Name] = *w
+		}
+		e.resetWatch(sp.Name, sp.Options)
 	}
 	e.mu.Unlock()
+
+	restoreWins := func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for name, win := range prevWins {
+			if w, ok := e.watch[name]; ok {
+				w.merge(win)
+			}
+		}
+	}
 
 	out := make([]*Synopsis, len(specs))
 	errs := make([]error, len(specs))
 	parallel.ForEach(len(specs), func(i int) {
 		sp := specs[i]
-		est, err := build.Build(countsByMetric[sp.Metric], sp.Options)
+		est, err := build.Build(countsByMetric[sp.Metric], build.WithApprox(sp.Options, e.domain, cutover))
 		if err != nil {
 			errs[i] = fmt.Errorf("engine: building synopsis %q: %w", sp.Name, err)
 			return
@@ -340,6 +420,7 @@ func (e *Engine) BuildSynopses(specs []SynopsisSpec) ([]*Synopsis, error) {
 	})
 	for _, err := range errs {
 		if err != nil {
+			restoreWins()
 			return nil, err
 		}
 	}
@@ -435,6 +516,7 @@ func (e *Engine) AbsorbShard(name string, shardCounts []int64, metric Metric, op
 	}
 	e.records += shardRecords
 	e.version++
+	e.markDirtyAll()
 	// The merged estimator now summarizes the union distribution, so its
 	// error model is rebuilt against the post-merge data. A model failure
 	// is not fatal: the absorption (a logged, replayable mutation) already
@@ -442,6 +524,10 @@ func (e *Engine) AbsorbShard(name string, shardCounts []int64, metric Metric, op
 	em, _ := errModelFor(opts, e.metricCounts(metric), est)
 	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, ErrModel: em, Version: e.version}
 	e.synopses[name] = s
+	// The merged estimator reflects the post-merge distribution exactly,
+	// so its window starts clean (everything else stays fully dirty from
+	// the absorption above).
+	e.resetWatch(name, opts)
 	return s, nil
 }
 
@@ -458,6 +544,12 @@ func (e *Engine) InstallSynopsis(name string, metric Metric, opts build.Options,
 	em, _ := errModelFor(opts, e.metricCounts(metric), est)
 	s := &Synopsis{Name: name, Metric: metric, Options: opts, Est: est, ErrModel: em, Version: e.version}
 	e.synopses[name] = s
+	// A restored estimator may predate replayed mutations, so its first
+	// rebuild is always a full one.
+	e.resetWatch(name, opts)
+	if w, ok := e.watch[name]; ok {
+		w.markAll()
+	}
 	return s
 }
 
@@ -467,6 +559,7 @@ func (e *Engine) DropSynopsis(name string) bool {
 	defer e.mu.Unlock()
 	_, ok := e.synopses[name]
 	delete(e.synopses, name)
+	delete(e.watch, name)
 	return ok
 }
 

@@ -36,6 +36,7 @@ import (
 
 	"rangeagg/internal/histogram"
 	"rangeagg/internal/prefix"
+	"rangeagg/internal/segment"
 )
 
 // ErrorModel bounds a synopsis's per-range error against the data it was
@@ -290,9 +291,11 @@ func errSAP(tab *prefix.Table, est Estimator) (ErrorModel, error) {
 // not known — e.g. one deserialized from the wire (cmd/synquery). It
 // dispatches on the representation the same way the descriptors do.
 func ErrorBoundFor(tab *prefix.Table, est Estimator) (ErrorModel, error) {
-	switch est.(type) {
+	switch e := est.(type) {
 	case *histogram.SAP0, *histogram.SAP1, *histogram.SAP2:
 		return errSAP(tab, est)
+	case *segment.Segmented:
+		return segment.NewErrorModel(tab, e), nil
 	}
 	return errCumulative(tab, est)
 }

@@ -81,7 +81,11 @@ func init() {
 	Register(avgHistogram(EquiDepth, "EQUI-DEPTH", dp.EquiDepthHist))
 	Register(avgHistogram(MaxDiff, "MAXDIFF", dp.MaxDiffHist))
 	Register(avgHistogram(VOptimal, "V-OPT", dp.VOpt))
-	Register(avgHistogram(PointOpt, "POINT-OPT", dp.PointOpt))
-	Register(avgHistogram(A0, "A0", dp.A0))
+	dPointOpt := avgHistogram(PointOpt, "POINT-OPT", dp.PointOpt)
+	dPointOpt.ApproxCounterpart = PointOptApprox
+	Register(dPointOpt)
+	dA0 := avgHistogram(A0, "A0", dp.A0)
+	dA0.ApproxCounterpart = A0Approx
+	Register(dA0)
 	Register(avgHistogram(PrefixOpt, "PREFIX-OPT", dp.PrefixOpt))
 }

@@ -53,6 +53,7 @@ const (
 	SAP0Approx
 	A0Approx
 	PointOptApprox
+	Segmented
 
 	numIDs // sentinel: count of registered methods
 )
@@ -155,6 +156,24 @@ type Opts struct {
 	RoundedX int64
 	// MaxStates bounds the exact OPT-A dynamic program's memory.
 	MaxStates int
+	// Segments is the requested segment count for the SEGMENTED family;
+	// 0 selects the default.
+	Segments int
+	// SegmentPolicy names the SEGMENTED partition policy ("equi-width",
+	// "weight-balanced"; empty = default).
+	SegmentPolicy string
+	// BudgetWords is the raw word budget, for methods that allocate it
+	// internally (SEGMENTED splits it between segment starts and
+	// per-segment buckets). 0 means derive it from Units.
+	BudgetWords int
+}
+
+// RebuildStats reports how much of a partial rebuild was real work.
+type RebuildStats struct {
+	// Rebuilt counts sub-structures reconstructed from current data.
+	Rebuilt int
+	// Reused counts sub-structures carried over verbatim.
+	Reused int
 }
 
 // Descriptor is everything the system knows about one synopsis method.
@@ -195,6 +214,17 @@ type Descriptor struct {
 	// prefix-moment table of that same data). Required exactly when Caps
 	// has ErrorBounded.
 	ErrorBound func(tab *prefix.Table, est Estimator) (ErrorModel, error)
+	// Rebuild refreshes prev after mutations confined to the value
+	// window [lo,hi], reconstructing only the affected sub-structures
+	// from counts and carrying the rest over. Optional (nil = the method
+	// only rebuilds wholesale); engine and serve nil-check it rather
+	// than gate on a capability flag.
+	Rebuild func(counts []int64, prev Estimator, lo, hi int, opt Opts) (Estimator, RebuildStats, error)
+	// ApproxCounterpart names the (1+ε)-approximate method that builds
+	// the same representation near-linearly, if one is registered; the
+	// zero value means none. Engine and serve use it to substitute the
+	// approximate construction above a domain-size cutover.
+	ApproxCounterpart ID
 }
 
 // registry is fixed-size and filled by the descriptor files' init

@@ -27,7 +27,8 @@ func init() {
 		FromBounds: func(tab *prefix.Table, bk *histogram.Bucketing, label string, _ Opts) (Estimator, error) {
 			return histogram.NewSAP0FromBounds(tab, bk, label)
 		},
-		ErrorBound: errSAP,
+		ErrorBound:        errSAP,
+		ApproxCounterpart: SAP0Approx,
 	})
 	Register(Descriptor{
 		ID:           SAP1,

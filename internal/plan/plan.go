@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"rangeagg/internal/obs"
@@ -61,6 +62,11 @@ type Source struct {
 	Estimate func(a, b int) float64
 	// Bound returns the error certificate for the range.
 	Bound func(a, b int) (bound float64, rigorous bool, ok bool)
+	// NoModel marks a source with no error model at all (e.g. a
+	// shard-folded synopsis whose model cannot survive the fold). Every
+	// bound would be +Inf, so the planner skips the source outright for
+	// finite budgets instead of probing it per query.
+	NoModel bool
 }
 
 // View is the planner's read-only picture of one metric at one snapshot
@@ -124,7 +130,12 @@ type Answer struct {
 type Planner struct {
 	cache *Cache
 
+	// nprobes counts this planner's synopsis probes (estimate + bound
+	// evaluations); the obs counter aggregates across planners.
+	nprobes atomic.Int64
+
 	hits, misses *obs.Counter
+	probes       *obs.Counter
 	answers      [len(pathNames)]*obs.Counter
 	latency      [len(pathNames)]*obs.Histogram
 }
@@ -136,6 +147,7 @@ func New(cacheEntries int) *Planner {
 		cache:  NewCache(cacheEntries),
 		hits:   obs.Default.Counter("rangeagg_plan_cache_hits_total"),
 		misses: obs.Default.Counter("rangeagg_plan_cache_misses_total"),
+		probes: obs.Default.Counter("rangeagg_plan_probes_total"),
 	}
 	for i, name := range pathNames {
 		p.answers[i] = obs.Default.Counter("rangeagg_plan_answers_total", obs.L("path", name)...)
@@ -146,6 +158,11 @@ func New(cacheEntries int) *Planner {
 
 // CacheStats reports the planner cache's cumulative hit/miss counters.
 func (p *Planner) CacheStats() CacheStats { return p.cache.Stats() }
+
+// Probes returns how many synopsis probes (estimate + bound
+// evaluations) this planner has performed — the work the model-less
+// skip rule and the cache save.
+func (p *Planner) Probes() int64 { return p.nprobes.Load() }
 
 // Query answers [a,b] from v by the cheapest path whose bound is within
 // maxErr. pinned names the synopsis to start probing at ("" = the
@@ -182,12 +199,20 @@ func (p *Planner) query(v *View, pinned string, a, b int, maxErr float64) (Answe
 	}
 	for i := first; i < len(v.Sources); i++ {
 		src := &v.Sources[i]
+		if src.NoModel && !noBudget && !math.IsInf(maxErr, 1) {
+			// A model-less source cannot meet a finite budget — its bound
+			// is +Inf by construction — so it is skipped without probing.
+			// Under no budget (NaN) or an infinite one it still answers.
+			continue
+		}
 		key := Key{Metric: v.Metric, Source: src.Name, A: a, B: b, Version: v.Version}
 		val, hit := p.cache.get(key)
 		if hit {
 			p.hits.Inc()
 		} else {
 			p.misses.Inc()
+			p.probes.Inc()
+			p.nprobes.Add(1)
 			val.value = src.Estimate(a, b)
 			val.bound, val.rigorous, ok = src.Bound(a, b)
 			if !ok {

@@ -1,0 +1,130 @@
+package segment
+
+import (
+	"fmt"
+
+	"rangeagg/internal/dp"
+	"rangeagg/internal/parallel"
+	"rangeagg/internal/prefix"
+)
+
+// Allocator tuning. The curves exist only to rank marginal gains, so
+// they are computed at bounded resolution: a segment wider than
+// curveCells is pre-aggregated to curveCells equal-width cells first
+// (the advisor's coarsen trick), and no segment's curve extends past
+// maxCurveUnits buckets. Both caps are independent of the budget, which
+// keeps the greedy allocation monotone in W (a bigger budget replays
+// the same gain sequences further, it never reorders them).
+const (
+	curveCells    = 512
+	maxCurveUnits = 128
+)
+
+// Plan is a budget allocation across one segment partition: Units[i]
+// buckets for the segment starting at Starts[i], every entry ≥ 1.
+type Plan struct {
+	Starts []int
+	Units  []int
+}
+
+// TotalUnits sums the allocated buckets.
+func (p *Plan) TotalUnits() int {
+	t := 0
+	for _, u := range p.Units {
+		t += u
+	}
+	return t
+}
+
+// curveFor computes the error-vs-space curve of one segment: curve[u] =
+// (coarsened) optimal A0 cost of summarizing counts[lo..hi] with u
+// buckets, non-increasing in u (running minimum applied). The A0 fused
+// cost is the same range-SSE surrogate the advisor's sweep and the
+// approximate builder optimize, so the allocator ranks segments on the
+// axis the per-segment builds will actually minimize.
+func curveFor(counts []int64, lo, hi int) ([]float64, error) {
+	width := hi - lo + 1
+	series := counts[lo : hi+1]
+	if width > curveCells {
+		coarse := make([]int64, curveCells)
+		for c := 0; c < curveCells; c++ {
+			a, b := c*width/curveCells, (c+1)*width/curveCells
+			var s int64
+			for j := a; j < b; j++ {
+				s += series[j]
+			}
+			coarse[c] = s
+		}
+		series = coarse
+		width = curveCells
+	}
+	maxB := maxCurveUnits
+	if maxB > width {
+		maxB = width
+	}
+	tab := prefix.NewTable(series)
+	curve, err := dp.SolveCurve(width, maxB, dp.FusedA0Cost(tab))
+	if err != nil {
+		return nil, err
+	}
+	// Force monotone non-increasing: adding a bucket can only help the
+	// true objective, but per-layer DP optima need not be monotone for
+	// the fused surrogate. Running min keeps every marginal gain ≥ 0.
+	for u := 2; u < len(curve); u++ {
+		if curve[u] > curve[u-1] {
+			curve[u] = curve[u-1]
+		}
+	}
+	return curve, nil
+}
+
+// Allocate distributes totalUnits buckets across the segments of the
+// partition by greedy marginal gain: every segment gets one bucket,
+// then each remaining bucket goes to the segment whose curve drops the
+// most for it (ΔSSE per added bucket; every bucket costs the same two
+// words, so per-bucket and per-word ranking coincide). Ties break to
+// the lowest segment index, making the allocation deterministic and —
+// because the curves do not depend on the budget — monotone in
+// totalUnits: growing the budget never shrinks any segment's share.
+// Per-segment curves are computed concurrently on the shared pool.
+func Allocate(counts []int64, starts []int, totalUnits int) (*Plan, error) {
+	if err := validStarts(len(counts), starts); err != nil {
+		return nil, err
+	}
+	k := len(starts)
+	if totalUnits < k {
+		return nil, fmt.Errorf("segment: %d units cannot cover %d segments (one bucket each minimum)", totalUnits, k)
+	}
+	curves := make([][]float64, k)
+	errs := make([]error, k)
+	parallel.ForEach(k, func(i int) {
+		lo, hi := segBounds(len(counts), starts, i)
+		curves[i], errs[i] = curveFor(counts, lo, hi)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("segment: allocation curve for segment %d: %w", i, err)
+		}
+	}
+	units := make([]int, k)
+	for i := range units {
+		units[i] = 1
+	}
+	for remaining := totalUnits - k; remaining > 0; remaining-- {
+		best, bestGain := -1, -1.0
+		for i := 0; i < k; i++ {
+			u := units[i]
+			if u+1 >= len(curves[i]) {
+				continue // segment at its curve cap (or at one bucket per value)
+			}
+			if gain := curves[i][u] - curves[i][u+1]; gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // every segment saturated; leave the rest of the budget unused
+		}
+		units[best]++
+	}
+	return &Plan{Starts: append([]int(nil), starts...), Units: units}, nil
+}

@@ -1,0 +1,183 @@
+package segment
+
+import (
+	"fmt"
+
+	"rangeagg/internal/approx"
+	"rangeagg/internal/dp"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/obs"
+	"rangeagg/internal/parallel"
+	"rangeagg/internal/prefix"
+)
+
+// innerExactCutover is the segment width above which the per-segment
+// build switches from the exact layer DP to the (1+eps)-approximate
+// partitioner. Segments at or below it are cheap enough for the
+// optimal table; above it the exact DP's quadratic layer cost
+// dominates the whole build.
+const innerExactCutover = 2048
+
+// defaultEpsilon is the approximation slack used for wide segments when
+// the caller does not pin one.
+const defaultEpsilon = 0.1
+
+// DefaultSegments is the segment count used when the caller does not
+// request one.
+const DefaultSegments = 8
+
+// BuildOpts selects the partition and budget of one segmented build.
+type BuildOpts struct {
+	// K is the requested segment count; 0 means DefaultSegments. The
+	// effective count is clamped so every segment can afford at least
+	// one bucket out of BudgetWords.
+	K int
+	// Policy selects the partitioner.
+	Policy Policy
+	// BudgetWords is the global storage budget W shared by the whole
+	// synopsis: segment starts plus all per-segment bucket words.
+	BudgetWords int
+	// Epsilon is the approximation slack for segments wider than the
+	// exact-DP cutover; values outside (0,1) select the default.
+	Epsilon float64
+}
+
+// Stats reports how much of a rebuild was real work.
+type Stats struct {
+	// Rebuilt counts segments whose histogram was reconstructed.
+	Rebuilt int
+	// Reused counts segments carried over verbatim.
+	Reused int
+}
+
+func effectiveEpsilon(eps float64) float64 {
+	if eps <= 0 || eps >= 1 {
+		return defaultEpsilon
+	}
+	return eps
+}
+
+// clampK bounds the segment count so the budget is structurally
+// feasible: K starts-words plus two words per bucket with at least one
+// bucket per segment needs W ≥ 3K, so K ≤ W/3 guarantees the unit pool
+// (W−K)/2 covers the per-segment minimum.
+func clampK(k, n, w int) int {
+	if k <= 0 {
+		k = DefaultSegments
+	}
+	if k > n {
+		k = n
+	}
+	if cap := w / 3; k > cap {
+		k = cap
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// buildSeg summarizes one segment's sub-series with b buckets: the
+// exact layer DP up to innerExactCutover values, the (1+eps)
+// partitioner above. Inner histograms always answer unrounded —
+// composition and the error model need the raw cumulative curve.
+func buildSeg(counts []int64, lo, hi, b int, eps float64) (*histogram.Avg, error) {
+	sub := prefix.NewTable(counts[lo : hi+1])
+	if hi-lo+1 <= innerExactCutover {
+		return dp.A0(sub, b, histogram.RoundNone)
+	}
+	return approx.A0(sub, b, eps, histogram.RoundNone)
+}
+
+// Build constructs a segmented synopsis over tab/counts: split the
+// domain under the policy, distribute the word budget across segments
+// by marginal gain, then build every segment concurrently on the shared
+// pool. counts must be the series tab was built from.
+func Build(tab *prefix.Table, counts []int64, o BuildOpts) (*Segmented, error) {
+	n := tab.N()
+	if n != len(counts) {
+		return nil, fmt.Errorf("segment: prefix table spans %d values, counts %d", n, len(counts))
+	}
+	if o.BudgetWords < 3 {
+		return nil, fmt.Errorf("segment: budget %d words cannot hold one segment (start + one bucket needs 3)", o.BudgetWords)
+	}
+	k := clampK(o.K, n, o.BudgetWords)
+	starts, err := Split(tab, k, o.Policy)
+	if err != nil {
+		return nil, err
+	}
+	// Split may return fewer segments than requested; the unit pool only
+	// grows from that.
+	totalUnits := (o.BudgetWords - len(starts)) / 2
+	plan, err := Allocate(counts, starts, totalUnits)
+	if err != nil {
+		return nil, err
+	}
+	eps := effectiveEpsilon(o.Epsilon)
+	segs := make([]*histogram.Avg, len(starts))
+	errs := make([]error, len(starts))
+	parallel.ForEach(len(starts), func(i int) {
+		lo, hi := segBounds(n, starts, i)
+		segs[i], errs[i] = buildSeg(counts, lo, hi, plan.Units[i], eps)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("segment: building segment %d: %w", i, err)
+		}
+	}
+	label := fmt.Sprintf("SEGMENTED(%d,%s)", len(starts), o.Policy)
+	return New(n, starts, segs, label)
+}
+
+// Rebuild refreshes a segmented synopsis after mutations confined to
+// the value window [lo,hi]: segments intersecting the window are
+// reconstructed from the current counts with their previous bucket
+// allocation, every other segment's histogram is carried over verbatim.
+// The partition and per-segment budgets are preserved — a rebuild
+// answers "the data changed here", not "re-plan the layout"; a full
+// Build re-splits and re-allocates.
+func Rebuild(counts []int64, prev *Segmented, lo, hi int, eps float64) (*Segmented, Stats, error) {
+	var st Stats
+	if prev == nil {
+		return nil, st, fmt.Errorf("segment: rebuild requires a previous synopsis")
+	}
+	n := prev.Domain
+	if len(counts) != n {
+		return nil, st, fmt.Errorf("segment: rebuild counts span %d values, synopsis %d", len(counts), n)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	if lo > hi {
+		return nil, st, fmt.Errorf("segment: empty rebuild window [%d,%d]", lo, hi)
+	}
+	eps = effectiveEpsilon(eps)
+	first, last := prev.Find(lo), prev.Find(hi)
+	segs := make([]*histogram.Avg, len(prev.Segs))
+	errs := make([]error, len(prev.Segs))
+	parallel.ForEach(len(prev.Segs), func(i int) {
+		if i < first || i > last {
+			segs[i] = prev.Segs[i]
+			return
+		}
+		sLo, sHi := segBounds(n, prev.Starts, i)
+		segs[i], errs[i] = buildSeg(counts, sLo, sHi, prev.Segs[i].Buckets.NumBuckets(), eps)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, st, fmt.Errorf("segment: rebuilding segment %d: %w", i, err)
+		}
+	}
+	st.Rebuilt = last - first + 1
+	st.Reused = len(prev.Segs) - st.Rebuilt
+	obs.Default.Counter("rangeagg_segment_rebuilt_total").Add(int64(st.Rebuilt))
+	obs.Default.Counter("rangeagg_segment_reused_total").Add(int64(st.Reused))
+	next, err := New(n, append([]int(nil), prev.Starts...), segs, prev.Label)
+	if err != nil {
+		return nil, st, err
+	}
+	return next, st, nil
+}

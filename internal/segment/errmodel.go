@@ -1,0 +1,163 @@
+package segment
+
+import (
+	"math"
+
+	"rangeagg/internal/prefix"
+)
+
+// The error model is the prefix-error identity organized per segment:
+// err(a,b) = e[b+1] − e[a] with e[t] = P[t] − Ĉ[t], where Ĉ is the
+// Segmented synopsis's composed cumulative curve — so the bound is as
+// tight as the monolithic cumulative model, while the min/max cells are
+// kept per segment and never straddle a segment edge. A query endpoint
+// on a boundary reads the cells of exactly the segment whose histogram
+// evaluates it (the same ownership CumEstimate uses), which is the
+// "exact edge handling" the planner's composition relies on: the error
+// regime of one segment can never bleed into a neighbour's cells.
+
+// maxModelCells caps the total cell count across all segments; each
+// segment gets an equal share, at least one cell, at most one cell per
+// owned position.
+const maxModelCells = 4096
+
+// segCells holds the per-cell min/max of e over one segment's owned
+// positions [base, base+span).
+type segCells struct {
+	base, span, cells int
+	min, max          []float64
+}
+
+func newSegCells(base, span, cells int) *segCells {
+	if cells > span {
+		cells = span
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	s := &segCells{base: base, span: span, cells: cells,
+		min: make([]float64, cells), max: make([]float64, cells)}
+	for i := range s.min {
+		s.min[i] = math.Inf(1)
+		s.max[i] = math.Inf(-1)
+	}
+	return s
+}
+
+func (s *segCells) add(t int, v float64) {
+	c := (t - s.base) * s.cells / s.span
+	if v < s.min[c] {
+		s.min[c] = v
+	}
+	if v > s.max[c] {
+		s.max[c] = v
+	}
+}
+
+func (s *segCells) at(t int) (lo, hi float64) {
+	c := (t - s.base) * s.cells / s.span
+	return s.min[c], s.max[c]
+}
+
+// ErrModel bounds the per-range error of a Segmented synopsis against
+// the data it was built from. It satisfies method.ErrorModel.
+type ErrModel struct {
+	syn    *Segmented
+	segs   []*segCells
+	lo, hi float64 // global min/max of e
+	slack  float64
+}
+
+// NewErrorModel walks the cumulative errors e[t] = P[t] − Ĉ[t] once and
+// files each position under the segment that evaluates it: position 0
+// under segment 0, position t ≥ 1 under the segment containing value
+// t−1. tab must be the prefix table of the series the synopsis was
+// built from.
+func NewErrorModel(tab *prefix.Table, s *Segmented) *ErrModel {
+	n := tab.N()
+	k := len(s.Starts)
+	perSeg := maxModelCells / k
+	if perSeg < 1 {
+		perSeg = 1
+	}
+	m := &ErrModel{syn: s, segs: make([]*segCells, k), lo: math.Inf(1), hi: math.Inf(-1)}
+	for i := range m.segs {
+		lo, hi := segBounds(n, s.Starts, i)
+		base, span := lo+1, hi-lo+1 // owns positions lo+1 .. hi+1
+		if i == 0 {
+			base, span = 0, span+1 // segment 0 additionally owns position 0
+		}
+		m.segs[i] = newSegCells(base, span, perSeg)
+	}
+	maxAbs := 0.0
+	for t := 0; t <= n; t++ {
+		e := tab.P[t] - s.CumEstimate(t)
+		m.segs[m.owner(t)].add(t, e)
+		if e < m.lo {
+			m.lo = e
+		}
+		if e > m.hi {
+			m.hi = e
+		}
+		if a := math.Abs(e); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	m.slack = 1e-9 * (4 + 4*maxAbs)
+	return m
+}
+
+// owner maps position t ∈ [0,n] to the segment whose cells hold it.
+func (m *ErrModel) owner(t int) int {
+	if t == 0 {
+		return 0
+	}
+	return m.syn.Find(t - 1)
+}
+
+func (m *ErrModel) at(t int) (lo, hi float64) {
+	return m.segs[m.owner(t)].at(t)
+}
+
+// Bound returns an upper bound on |exact − Estimate(a,b)|: the true
+// error lies in the interval difference of the two endpoint cells.
+func (m *ErrModel) Bound(a, b int) float64 {
+	loA, hiA := m.at(a)
+	loB, hiB := m.at(b + 1)
+	return math.Max(math.Abs(loB-hiA), math.Abs(hiB-loA)) + m.slack
+}
+
+// Rigorous reports that Bound is a guarantee (up to fp slack).
+func (m *ErrModel) Rigorous() bool { return true }
+
+// MaxBound bounds Bound over every range by the global spread of e.
+func (m *ErrModel) MaxBound() float64 { return (m.hi - m.lo) + m.slack }
+
+// SegmentMaxBound bounds the error of any range fully inside segment i
+// — the per-segment view the planner's composition walks (a range
+// confined to one segment can never see another segment's error
+// spread).
+func (m *ErrModel) SegmentMaxBound(i int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	s := m.segs[i]
+	for c := 0; c < s.cells; c++ {
+		if s.min[c] < lo {
+			lo = s.min[c]
+		}
+		if s.max[c] > hi {
+			hi = s.max[c]
+		}
+	}
+	if i > 0 {
+		// A range inside segment i can anchor its left endpoint on the
+		// boundary position owned by segment i−1.
+		plo, phi := m.segs[i-1].at(s.base - 1)
+		if plo < lo {
+			lo = plo
+		}
+		if phi > hi {
+			hi = phi
+		}
+	}
+	return (hi - lo) + m.slack
+}

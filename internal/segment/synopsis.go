@@ -1,0 +1,155 @@
+package segment
+
+import (
+	"fmt"
+	"sort"
+
+	"rangeagg/internal/histogram"
+)
+
+// Segmented is the composed synopsis: one average-representation
+// histogram per contiguous segment, each built over the segment's own
+// sub-domain. Its cumulative curve is the running composition of the
+// per-segment curves, so Estimate answers every range — including
+// ranges spanning segment edges — as a difference of two cumulative
+// reads, exactly like a monolithic prefix-decomposable histogram.
+//
+// Storage accounting: one word per segment start plus each segment's
+// own histogram words.
+type Segmented struct {
+	// Domain is the full attribute-domain size.
+	Domain int
+	// Starts are the segment start positions (ascending, first 0).
+	Starts []int
+	// Segs holds the per-segment estimators; Segs[i].N() is segment i's
+	// width. All answer unrounded (RoundNone) so composition is exact.
+	Segs []*histogram.Avg
+	// Label names the construction, e.g. "SEGMENTED(8,equi-width)".
+	Label string
+
+	// prefTotals[i] = Ĉ at segment i's start: the sum of every earlier
+	// segment's full cumulative estimate. Cached so CumEstimate is one
+	// segment lookup plus one inner read.
+	prefTotals []float64
+}
+
+// New assembles a segmented synopsis, validating that the segments tile
+// the domain and every inner histogram answers unrounded.
+func New(domain int, starts []int, segs []*histogram.Avg, label string) (*Segmented, error) {
+	if err := validStarts(domain, starts); err != nil {
+		return nil, err
+	}
+	if len(segs) != len(starts) {
+		return nil, fmt.Errorf("segment: %d estimators for %d segments", len(segs), len(starts))
+	}
+	for i, seg := range segs {
+		lo, hi := segBounds(domain, starts, i)
+		if seg == nil {
+			return nil, fmt.Errorf("segment: segment %d has no estimator", i)
+		}
+		if seg.N() != hi-lo+1 {
+			return nil, fmt.Errorf("segment: segment %d estimator spans %d values, want %d", i, seg.N(), hi-lo+1)
+		}
+		if seg.Mode != histogram.RoundNone {
+			return nil, fmt.Errorf("segment: segment %d answers rounded; composition requires unrounded answering", i)
+		}
+	}
+	s := &Segmented{Domain: domain, Starts: starts, Segs: segs, Label: label}
+	s.rebuildPrefTotals()
+	return s, nil
+}
+
+func (s *Segmented) rebuildPrefTotals() {
+	s.prefTotals = make([]float64, len(s.Segs)+1)
+	for i, seg := range s.Segs {
+		s.prefTotals[i+1] = s.prefTotals[i] + seg.CumEstimate(seg.N())
+	}
+}
+
+// N returns the domain size.
+func (s *Segmented) N() int { return s.Domain }
+
+// Name identifies the construction.
+func (s *Segmented) Name() string { return s.Label }
+
+// StorageWords is one word per segment start plus the per-segment
+// histogram words.
+func (s *Segmented) StorageWords() int {
+	w := len(s.Starts)
+	for _, seg := range s.Segs {
+		w += seg.StorageWords()
+	}
+	return w
+}
+
+// SegmentCount returns the number of segments.
+func (s *Segmented) SegmentCount() int { return len(s.Starts) }
+
+// SegmentBounds returns the inclusive range [lo,hi] of segment i.
+func (s *Segmented) SegmentBounds(i int) (lo, hi int) {
+	return segBounds(s.Domain, s.Starts, i)
+}
+
+// Find returns the index of the segment containing position pos.
+func (s *Segmented) Find(pos int) int {
+	if pos < 0 || pos >= s.Domain {
+		panic(fmt.Sprintf("segment: position %d outside domain n=%d", pos, s.Domain))
+	}
+	i := sort.Search(len(s.Starts), func(k int) bool { return s.Starts[k] > pos })
+	return i - 1
+}
+
+// CumEstimate returns the composed cumulative estimate Ĉ[t] for
+// t ∈ [0,n]: the cached total of every segment before the one holding
+// position t−1, plus that segment's own cumulative read. Ĉ[0] = 0.
+func (s *Segmented) CumEstimate(t int) float64 {
+	if t < 0 || t > s.Domain {
+		panic(fmt.Sprintf("segment: cumulative position %d outside [0,%d]", t, s.Domain))
+	}
+	if t == 0 {
+		return 0
+	}
+	i := s.Find(t - 1)
+	return s.prefTotals[i] + s.Segs[i].CumEstimate(t-s.Starts[i])
+}
+
+// Estimate answers the inclusive range [a,b] as the difference of two
+// composed cumulative reads — the same evaluation for intra-segment and
+// edge-spanning ranges, so covered segments compose with exact edge
+// handling (no per-segment summation whose association could drift).
+func (s *Segmented) Estimate(a, b int) float64 {
+	if a < 0 || b >= s.Domain || a > b {
+		panic(fmt.Sprintf("segment: invalid range [%d,%d] for n=%d", a, b, s.Domain))
+	}
+	return s.CumEstimate(b+1) - s.CumEstimate(a)
+}
+
+// Merge combines two segmented synopses built over the same domain and
+// the same partition from disjoint record sets: each segment pair
+// merges exactly (histogram.MergeAvg), so for every range
+// estimate_merged = estimate_a + estimate_b. Shards must agree on the
+// partition — guaranteed for the equi-width policy; weight-balanced
+// shards must be split by one coordinator.
+func Merge(a, b *Segmented) (*Segmented, error) {
+	if a.Domain != b.Domain {
+		return nil, fmt.Errorf("segment: merge over different domains %d vs %d", a.Domain, b.Domain)
+	}
+	if len(a.Starts) != len(b.Starts) {
+		return nil, fmt.Errorf("segment: merge over different partitions (%d vs %d segments)", len(a.Starts), len(b.Starts))
+	}
+	for i := range a.Starts {
+		if a.Starts[i] != b.Starts[i] {
+			return nil, fmt.Errorf("segment: merge over different partitions (segment %d starts at %d vs %d)",
+				i, a.Starts[i], b.Starts[i])
+		}
+	}
+	segs := make([]*histogram.Avg, len(a.Segs))
+	for i := range segs {
+		m, err := histogram.MergeAvg(a.Segs[i], b.Segs[i])
+		if err != nil {
+			return nil, fmt.Errorf("segment: merging segment %d: %w", i, err)
+		}
+		segs[i] = m
+	}
+	return New(a.Domain, append([]int(nil), a.Starts...), segs, a.Label+"+"+b.Label)
+}

@@ -230,6 +230,11 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 			// freshness, and the records replayed at startup.
 			resp["durability"] = s.cfg.WAL.Stats()
 		}
+		if st := s.SegmentStats(); st.Rebuilt+st.Reused+st.SynopsesReused > 0 {
+			// Partial-rebuild work avoidance: segments rebuilt vs carried
+			// over, and whole synopses reused across snapshot swaps.
+			resp["segments"] = st
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return 0, nil
 	})

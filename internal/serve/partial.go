@@ -1,0 +1,81 @@
+package serve
+
+// window accumulates the value range mutated since the last snapshot
+// rebuild captured it. The server keeps one global window (all specs
+// summarize the same column): ingest wrappers widen it, bulk paths and
+// the public MarkDirty mark everything, and Rebuild captures-and-resets
+// it before reading the engine — a mutation landing in between marks
+// the fresh window and is also in the counts just read, so the worst
+// case is an over-rebuild, never a stale reuse.
+type window struct {
+	any, all bool
+	lo, hi   int
+}
+
+func (w *window) markValue(v int) {
+	if w.all {
+		return
+	}
+	if !w.any {
+		w.any, w.lo, w.hi = true, v, v
+		return
+	}
+	if v < w.lo {
+		w.lo = v
+	}
+	if v > w.hi {
+		w.hi = v
+	}
+}
+
+func (w *window) markAll() {
+	w.any, w.all = true, true
+}
+
+// merge widens w to cover o — the restore path when a rebuild that
+// captured o fails and its mutations must stay pending.
+func (w *window) merge(o window) {
+	if !o.any {
+		return
+	}
+	if o.all {
+		w.markAll()
+		return
+	}
+	w.markValue(o.lo)
+	w.markValue(o.hi)
+}
+
+// markValue records a point mutation in the rebuild window.
+func (s *Server) markValue(v int) {
+	s.winMu.Lock()
+	s.win.markValue(v)
+	s.winMu.Unlock()
+}
+
+// markAll records a bulk (or unlocatable) mutation.
+func (s *Server) markAll() {
+	s.winMu.Lock()
+	s.win.markAll()
+	s.winMu.Unlock()
+}
+
+// SegmentStats reports how much snapshot-rebuild work the segmented
+// paths saved: Rebuilt/Reused count segments across partial rebuilds
+// (from the method layer's RebuildStats), SynopsesReused counts whole
+// synopses carried into a fresh snapshot verbatim because nothing
+// changed for them.
+type SegmentStats struct {
+	Rebuilt        int64 `json:"rebuilt"`
+	Reused         int64 `json:"reused"`
+	SynopsesReused int64 `json:"synopses_reused"`
+}
+
+// SegmentStats returns the server's cumulative partial-rebuild counters.
+func (s *Server) SegmentStats() SegmentStats {
+	return SegmentStats{
+		Rebuilt:        s.segRebuilt.Load(),
+		Reused:         s.segReused.Load(),
+		SynopsesReused: s.synReused.Load(),
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"rangeagg/internal/build"
+	"rangeagg/internal/engine"
+	"rangeagg/internal/segment"
+)
+
+func newSegServer(t *testing.T, domain int, cfg Config) (*engine.Engine, *Server) {
+	t.Helper()
+	eng, err := engine.New("seg", domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, domain)
+	for i := range counts {
+		counts[i] = int64((i*31)%11) * 5
+	}
+	if err := eng.Load(counts); err != nil {
+		t.Fatal(err)
+	}
+	specs := []engine.SynopsisSpec{{
+		Name: "seg", Metric: engine.Count,
+		Options: build.Options{Method: build.Segmented, BudgetWords: 40, Segments: 8},
+	}}
+	s, err := New(eng, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return eng, s
+}
+
+// TestServePartialRebuild checks the server's dirty-window path: a point
+// insert followed by a rebuild reconstructs only the owning segment of
+// the segmented synopsis and bumps the rebuilt/reused counters.
+func TestServePartialRebuild(t *testing.T) {
+	_, s := newSegServer(t, 512, Config{Debounce: time.Hour})
+	prev, err := s.Snapshot().Synopsis("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.SegmentStats()
+
+	if err := s.Insert(100, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	next, err := s.Snapshot().Synopsis("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, ns := prev.Est.(*segment.Segmented), next.Est.(*segment.Segmented)
+	dirty := ps.Find(100)
+	for i := range ns.Segs {
+		if i == dirty {
+			if ns.Segs[i] == ps.Segs[i] {
+				t.Errorf("dirty segment %d was not rebuilt", i)
+			}
+		} else if ns.Segs[i] != ps.Segs[i] {
+			t.Errorf("clean segment %d was rebuilt instead of reused", i)
+		}
+	}
+	st := s.SegmentStats()
+	if st.Rebuilt-before.Rebuilt != 1 || st.Reused-before.Reused != int64(len(ns.Segs)-1) {
+		t.Errorf("stats delta = %+v − %+v, want 1 rebuilt / %d reused", st, before, len(ns.Segs)-1)
+	}
+	// The refreshed snapshot answers the mutated range within its bound.
+	res, _ := s.QueryOne(Query{Synopsis: "seg", A: 90, B: 110})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	exact := float64(s.Snapshot().ExactCount(90, 110))
+	if d := math.Abs(res.Value - exact); d > res.Bound {
+		t.Errorf("answer %g off exact %g beyond bound %g", res.Value, exact, res.Bound)
+	}
+}
+
+// TestServeSynopsisReuse checks the clean fast path: a rebuild with no
+// mutations since the last one carries the synopsis (estimator and error
+// model) into the new snapshot verbatim.
+func TestServeSynopsisReuse(t *testing.T) {
+	_, s := newSegServer(t, 256, Config{Debounce: time.Hour})
+	prev, err := s.Snapshot().Synopsis("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.SegmentStats().SynopsesReused
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	next, err := s.Snapshot().Synopsis("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Est != prev.Est || next.ErrModel != prev.ErrModel {
+		t.Error("clean rebuild did not carry the synopsis over verbatim")
+	}
+	if got := s.SegmentStats().SynopsesReused - before; got != 1 {
+		t.Errorf("SynopsesReused delta = %d, want 1", got)
+	}
+	// MarkDirty (an untracked external mutation) forces a full rebuild
+	// even though the engine data is unchanged.
+	s.markAll()
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Snapshot().Synopsis("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Est == next.Est {
+		t.Error("MarkDirty did not force a rebuild")
+	}
+}
+
+// TestServeApproxCutover pins the serve-layer cutover config: lowering it
+// below the domain makes full rebuilds construct through the approximate
+// counterpart while registered options keep the exact method.
+func TestServeApproxCutover(t *testing.T) {
+	eng, err := engine.New("cutover", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 64)
+	for i := range counts {
+		counts[i] = int64(i % 7)
+	}
+	if err := eng.Load(counts); err != nil {
+		t.Fatal(err)
+	}
+	specs := []engine.SynopsisSpec{{
+		Name: "a", Metric: engine.Count,
+		Options: build.Options{Method: build.A0, BudgetWords: 12},
+	}}
+	s, err := New(eng, specs, Config{Debounce: time.Hour, ApproxCutover: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	syn, err := s.Snapshot().Synopsis("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(syn.Est.Name(), "A0-APPROX") {
+		t.Errorf("domain over cutover built %q, want the approximate construction", syn.Est.Name())
+	}
+	if syn.Options.Method != build.A0 {
+		t.Errorf("registered method changed to %v", syn.Options.Method)
+	}
+
+	// The default config (cutover 0 → 32768) leaves a 64-value domain on
+	// the exact path.
+	s2, err := New(eng, specs, Config{Debounce: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	syn, err = s2.Snapshot().Synopsis("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(syn.Est.Name(), "APPROX") {
+		t.Errorf("default cutover built %q on a small domain", syn.Est.Name())
+	}
+}

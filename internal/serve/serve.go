@@ -52,6 +52,12 @@ type Config struct {
 	// CacheEntries sizes the planner's hot-range answer cache (default
 	// 4096 entries); a negative value disables caching.
 	CacheEntries int
+	// ApproxCutover is the domain size at and above which snapshot
+	// rebuilds construct through a method's (1+ε)-approximate
+	// counterpart (registered specs keep their original options). 0
+	// selects build.DefaultApproxCutover; a negative value disables the
+	// substitution.
+	ApproxCutover int
 	// WAL, when non-nil, makes the server durable: the engine must be
 	// the DB's engine, every mutation path (ingest, load, shard merge)
 	// appends its log record before the call acknowledges, and a
@@ -102,6 +108,16 @@ type Server struct {
 	// local synopsis, so shard contributions survive snapshot swaps.
 	shardMu sync.RWMutex
 	shards  map[string][]build.Estimator
+
+	// winMu guards win, the mutated value window Rebuild's partial path
+	// consumes.
+	winMu sync.Mutex
+	win   window
+
+	// Partial-rebuild counters (see SegmentStats).
+	segRebuilt atomic.Int64
+	segReused  atomic.Int64
+	synReused  atomic.Int64
 
 	rebuilds atomic.Int64
 	lastErr  atomic.Pointer[rebuildError]
@@ -209,7 +225,8 @@ func (s *Server) Insert(value int, occurrences int64) error {
 	if err != nil {
 		return err
 	}
-	s.MarkDirty()
+	s.markValue(value)
+	s.signalDirty()
 	return nil
 }
 
@@ -225,7 +242,8 @@ func (s *Server) Delete(value int, occurrences int64) error {
 	if err != nil {
 		return err
 	}
-	s.MarkDirty()
+	s.markValue(value)
+	s.signalDirty()
 	return nil
 }
 
@@ -247,8 +265,16 @@ func (s *Server) Load(counts []int64) error {
 
 // MarkDirty tells the debouncer the engine data changed. Callers that
 // mutate the engine directly (not through the server's ingest wrappers)
-// use it to keep the served snapshot converging.
+// use it to keep the served snapshot converging; since the mutation's
+// location is unknown here, the next rebuild is a full one.
 func (s *Server) MarkDirty() {
+	s.markAll()
+	s.signalDirty()
+}
+
+// signalDirty schedules a debounced rebuild without touching the
+// mutation window (the ingest wrappers already marked it precisely).
+func (s *Server) signalDirty() {
 	select {
 	case s.dirty <- struct{}{}:
 	default: // a rebuild is already pending
@@ -437,6 +463,16 @@ func (s *Server) QueryBatch(qs []Query) ([]Result, int64) {
 // prefix tables and every registered synopsis, built concurrently over
 // the worker pool — and atomically swaps it in. On failure the previous
 // snapshot keeps serving and the error is retained for LastError.
+//
+// Rebuild avoids redoing work the mutation window proves unnecessary:
+// a spec whose previous synopsis was built from the same data version
+// with no mutations since is carried over verbatim (estimator and error
+// model); a spec whose method supports partial rebuilds refreshes only
+// the structures covering the mutated window; everything else is built
+// from scratch, substituting the method's (1+ε)-approximate counterpart
+// on large domains (Config.ApproxCutover). The partial and reuse paths
+// trust that direct engine mutators call MarkDirty (which widens the
+// window to everything); the ingest wrappers mark precisely.
 func (s *Server) Rebuild() error {
 	_, span := obs.Start(context.Background(), "serve.rebuild")
 	span.OnEnd(rebuildSeconds.Observe)
@@ -449,6 +485,23 @@ func (s *Server) Rebuild() error {
 	s.specMu.RUnlock()
 	span.SetAttrInt("specs", int64(len(specs)))
 
+	// Capture the mutation window BEFORE reading the engine: a mutation
+	// landing in between marks the fresh window and is also in the counts
+	// read below, so the worst case is an over-rebuild, never stale
+	// reuse. On failure the captured window is merged back so the pending
+	// mutations are not lost.
+	s.winMu.Lock()
+	win := s.win
+	s.win = window{}
+	s.winMu.Unlock()
+	fail := func(err error) error {
+		s.winMu.Lock()
+		s.win.merge(win)
+		s.winMu.Unlock()
+		s.lastErr.Store(&rebuildError{err: err})
+		return err
+	}
+
 	// One locked read of the engine; the SUM series is derived locally so
 	// both metrics come from the same version.
 	counts, version := s.eng.MetricCounts(engine.Count)
@@ -459,6 +512,17 @@ func (s *Server) Rebuild() error {
 		records += c
 	}
 
+	prev := s.snap.Load()
+	// One shard-inbox snapshot drives both the build-mode decisions and
+	// the fold below, so a shard arriving mid-rebuild cannot fold into a
+	// reused estimator (its own Rebuild call is already queued).
+	s.shardMu.RLock()
+	shardsFor := make([][]build.Estimator, len(specs))
+	for i, sp := range specs {
+		shardsFor[i] = s.shards[sp.Name]
+	}
+	s.shardMu.RUnlock()
+
 	snap := &Snapshot{
 		Version: version,
 		Domain:  len(counts),
@@ -466,56 +530,80 @@ func (s *Server) Rebuild() error {
 		syns:    make(map[string]*Synopsis, len(specs)),
 	}
 	ests := make([]build.Estimator, len(specs))
+	ems := make([]method.ErrorModel, len(specs))
 	errs := make([]error, len(specs))
+	stats := make([]method.RebuildStats, len(specs))
+	reused := make([]bool, len(specs))
 	tasks := []func(){
 		func() { snap.count = prefix.NewTable(counts) },
 		func() { snap.sum = prefix.NewTable(sums) },
 	}
 	for i := range specs {
-		i := i
+		i, sp := i, specs[i]
+		var prevSyn *Synopsis
+		if prev != nil {
+			prevSyn = prev.syns[sp.Name]
+		}
+		sameSpec := prevSyn != nil && len(shardsFor[i]) == 0 &&
+			prevSyn.Metric == sp.Metric && prevSyn.Options == sp.Options
+		if sameSpec && !win.any && prev.Version == version {
+			// Nothing changed for this spec: carry estimator and error
+			// model into the new snapshot verbatim.
+			ests[i], ems[i], reused[i] = prevSyn.Est, prevSyn.ErrModel, true
+			s.synReused.Add(1)
+			continue
+		}
+		partial := sameSpec && win.any && !win.all && build.CanRebuild(sp.Options)
 		tasks = append(tasks, func() {
 			series := counts
-			if specs[i].Metric == engine.Sum {
+			if sp.Metric == engine.Sum {
 				series = sums
 			}
-			ests[i], errs[i] = build.Build(series, specs[i].Options)
+			if partial {
+				ests[i], stats[i], errs[i] = build.Rebuild(series, sp.Options, prevSyn.Est, win.lo, win.hi)
+				return
+			}
+			ests[i], errs[i] = build.Build(series, build.WithApprox(sp.Options, len(counts), s.cfg.ApproxCutover))
 		})
 	}
 	parallel.Do(tasks...)
 	for i, err := range errs {
 		if err != nil {
-			err = fmt.Errorf("serve: building synopsis %q: %w", specs[i].Name, err)
-			s.lastErr.Store(&rebuildError{err: err})
-			return err
+			return fail(fmt.Errorf("serve: building synopsis %q: %w", specs[i].Name, err))
 		}
+	}
+	var segR, segU int64
+	for i := range stats {
+		segR += int64(stats[i].Rebuilt)
+		segU += int64(stats[i].Reused)
+	}
+	if segR+segU > 0 {
+		s.segRebuilt.Add(segR)
+		s.segReused.Add(segU)
 	}
 	// Fold accepted shard estimators into the fresh local synopses, in
 	// arrival order, so shard contributions survive the snapshot swap.
-	s.shardMu.RLock()
 	sharded := make([]bool, len(specs))
 	for i, sp := range specs {
-		sharded[i] = len(s.shards[sp.Name]) > 0
-		for _, shard := range s.shards[sp.Name] {
+		sharded[i] = len(shardsFor[i]) > 0
+		for _, shard := range shardsFor[i] {
 			merged, err := method.MustLookup(sp.Options.Method).Merge(ests[i], shard)
 			if err != nil {
-				s.shardMu.RUnlock()
-				err = fmt.Errorf("serve: merging shard into %q: %w", sp.Name, err)
-				s.lastErr.Store(&rebuildError{err: err})
-				return err
+				return fail(fmt.Errorf("serve: merging shard into %q: %w", sp.Name, err))
 			}
 			ests[i] = merged
 		}
 	}
-	s.shardMu.RUnlock()
 	// Error models, built concurrently against the snapshot's own prefix
 	// tables. Shard-folded synopses get none: their answers cover remote
-	// records the local tables cannot see, so no local bound is valid. A
-	// model failure just leaves that synopsis serving unbounded.
-	ems := make([]method.ErrorModel, len(specs))
+	// records the local tables cannot see, so no local bound is valid (the
+	// planner skips them outright under finite budgets). A model failure
+	// just leaves that synopsis serving unbounded. Reused synopses carried
+	// their model over above.
 	var mtasks []func()
 	for i, sp := range specs {
 		d, err := method.Lookup(sp.Options.Method)
-		if sharded[i] || err != nil || !d.Caps.Has(method.ErrorBounded) {
+		if sharded[i] || reused[i] || err != nil || !d.Caps.Has(method.ErrorBounded) {
 			continue
 		}
 		tab := snap.count

@@ -130,6 +130,7 @@ func (s *Snapshot) buildViews() {
 					}
 					return em.Bound(a, b), em.Rigorous(), true
 				},
+				NoModel: em == nil,
 			})
 		}
 		plan.OrderSources(v.Sources)

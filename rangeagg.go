@@ -119,6 +119,12 @@ const (
 	// V-optimal objective is interval-monotone, so the (1+ε) bound on the
 	// construction objective is rigorous. Requires Options.Epsilon ∈ (0,1).
 	PointOptApprox
+	// Segmented partitions the domain into contiguous segments
+	// (Options.Segments, Options.SegmentPolicy), summarizes each
+	// independently, and distributes BudgetWords across segments by greedy
+	// marginal gain. Answers compose across segment edges exactly; shards
+	// built under the equi-width policy merge exactly.
+	Segmented
 )
 
 // UnknownMethodError reports a Method value with no registry entry —
@@ -276,6 +282,12 @@ type Options struct {
 	// bucket-based construction and lifts the boundaries back — how the
 	// quadratic algorithms scale to domains of millions of values.
 	CoarsenTo int
+	// Segments is the requested segment count for the Segmented method;
+	// 0 selects the default (8). Other methods ignore it.
+	Segments int
+	// SegmentPolicy selects the Segmented method's partitioner:
+	// "equi-width" (default) or "weight-balanced".
+	SegmentPolicy string
 }
 
 // Build constructs a synopsis over the attribute-value distribution.
@@ -300,9 +312,11 @@ func Build(counts []int64, opt Options) (Synopsis, error) {
 		LocalSearch: opt.LocalSearch,
 		Seed:        opt.Seed,
 		Epsilon:     opt.Epsilon,
-		RoundedX:    opt.RoundedX,
-		MaxStates:   opt.MaxStates,
-		CoarsenTo:   opt.CoarsenTo,
+		RoundedX:      opt.RoundedX,
+		MaxStates:     opt.MaxStates,
+		CoarsenTo:     opt.CoarsenTo,
+		Segments:      opt.Segments,
+		SegmentPolicy: opt.SegmentPolicy,
 	})
 }
 

@@ -22,6 +22,7 @@ func TestMethodEnumAligned(t *testing.T) {
 		WaveRangeOpt: build.WaveRangeOpt, WaveAA2D: build.WaveAA2D,
 		PrefixOpt: build.PrefixOpt, SAP2: build.SAP2, SAP0Approx: build.SAP0Approx,
 		A0Approx: build.A0Approx, PointOptApprox: build.PointOptApprox,
+		Segmented: build.Segmented,
 	}
 	if len(pairs) != method.Count() {
 		t.Fatalf("pairs cover %d methods, registry has %d", len(pairs), method.Count())

@@ -33,9 +33,10 @@ var methodIdents = map[string]bool{
 	"VOptimal": true, "PointOpt": true, "A0": true, "SAP0": true,
 	"SAP1": true, "OptA": true, "OptARounded": true, "WaveTopBB": true,
 	"WaveRangeOpt": true, "WaveAA2D": true, "PrefixOpt": true, "SAP2": true,
+	"Segmented": true,
 }
 
-var familyStrings = map[string]bool{"histogram": true, "wavelet": true}
+var familyStrings = map[string]bool{"histogram": true, "wavelet": true, "segmented": true}
 
 func main() {
 	root := "."
