@@ -12,7 +12,7 @@ race:
 	$(GO) test -race -count=1 ./...
 
 bench:
-	$(GO) test -run '^$$' -bench 'ConstructScaling|ServeHTTP|SegmentedRebuild' -benchtime 100ms .
+	$(GO) test -run '^$$' -bench 'ConstructScaling|ServeHTTP|SegmentedRebuild|RouterFanout' -benchtime 100ms .
 
 # Gate the benchmarks against the committed baseline (fails on >15%
 # median regression; see scripts/benchdiff).
@@ -34,7 +34,7 @@ cover:
 	$(GO) run ./scripts/coverfloor -profile cover.out -floor 70 \
 		rangeagg/internal/serve rangeagg/internal/oracle rangeagg/internal/codec \
 		rangeagg/internal/wal rangeagg/internal/obs rangeagg/internal/plan \
-		rangeagg/internal/segment
+		rangeagg/internal/segment rangeagg/internal/cluster
 
 lint:
 	$(GO) vet ./...

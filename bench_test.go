@@ -10,6 +10,7 @@ package rangeagg
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 
 	"rangeagg/internal/advisor"
 	"rangeagg/internal/build"
+	"rangeagg/internal/cluster"
 	"rangeagg/internal/core"
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/dp"
@@ -685,5 +687,97 @@ func BenchmarkSegmentedRebuild(b *testing.B) {
 	})
 	b.Run("full-monolithic", func(b *testing.B) {
 		run(b, build.Options{Method: build.A0Approx, BudgetWords: 256, Epsilon: 0.1})
+	})
+}
+
+// routerBench fronts a k-node cluster with a fan-out router: each node
+// runs a full-domain engine holding only its owned slice of the zipf
+// counts, behind a real HTTP server. Returned ranges mirror serveBench's
+// 256-query workload so RouterFanout is comparable to ServeHTTP.
+func routerBench(b *testing.B, k int) (*cluster.Router, [][2]int) {
+	b.Helper()
+	const n = 2048
+	counts, err := ZipfCounts(n, 1.8, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := []engine.SynopsisSpec{
+		{Name: "h", Metric: engine.Count, Options: build.Options{Method: build.SAP1, BudgetWords: 64}},
+	}
+	type nodeJSON struct {
+		ID     string `json:"id"`
+		Addr   string `json:"addr"`
+		Window [2]int `json:"window"`
+	}
+	nodes := make([]nodeJSON, k)
+	width := n / k
+	for i := 0; i < k; i++ {
+		lo, hi := i*width, (i+1)*width-1
+		if i == k-1 {
+			hi = n - 1
+		}
+		owned := make([]int64, n)
+		copy(owned[lo:hi+1], counts[lo:hi+1])
+		eng, err := engine.New(fmt.Sprintf("bn%d", i), n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Load(owned); err != nil {
+			b.Fatal(err)
+		}
+		srv, err := serve.New(eng, specs, serve.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Close)
+		ts := httptest.NewServer(serve.NewHandler(srv, serve.NewMetrics()))
+		b.Cleanup(ts.Close)
+		nodes[i] = nodeJSON{ID: fmt.Sprintf("bn%d", i), Addr: ts.URL, Window: [2]int{lo, hi}}
+	}
+	raw, err := json.Marshal(map[string]any{"domain": n, "nodes": nodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := cluster.Parse(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := cluster.NewRouter(topo, cluster.RouterConfig{HealthEvery: -1})
+	b.Cleanup(router.Close)
+
+	rng := rand.New(rand.NewSource(9))
+	ranges := make([][2]int, 256)
+	for i := range ranges {
+		a := rng.Intn(n)
+		ranges[i] = [2]int{a, a + rng.Intn(n-a)}
+	}
+	return router, ranges
+}
+
+// BenchmarkRouterFanout measures the routed query path over a 4-node
+// cluster: 256 single fan-out/merge round trips versus one routed batch
+// (which groups sub-ranges per node into one /query/batch each). The
+// batch form amortizes both the HTTP overhead and the fan-out, so it is
+// the served configuration the cluster quickstart recommends.
+func BenchmarkRouterFanout(b *testing.B) {
+	router, ranges := routerBench(b, 4)
+	ctx := context.Background()
+	b.Run("route-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, rg := range ranges {
+				if _, err := router.Route(ctx, cluster.Query{Synopsis: "h", A: rg[0], B: rg[1]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := router.RouteBatch(ctx, "h", "", ranges, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }

@@ -1,20 +1,34 @@
 // Command synquery answers range-sum queries from a serialized synopsis,
-// optionally comparing against the exact answers from the original data.
+// optionally comparing against the exact answers from the original data,
+// or remotely through a synrouter (or a single synserve node — the query
+// surface is the same).
 //
 // Usage:
 //
 //	synquery -syn synopsis.json -q 3:40 -q 0:126
 //	synquery -syn synopsis.json -data data.csv -q 3:40      # with exact
 //	synquery -syn synopsis.json -data data.csv -random 100  # workload report
+//	synquery -router http://127.0.0.1:9800 -q 3:40          # via cluster router
+//	synquery -router http://127.0.0.1:9800 -name h -maxerr 5 -q 3:40
+//
+// Remote queries retry transient failures (connection refused, 5xx)
+// with exponential backoff and jitter — a router briefly losing a node,
+// or a node mid-restart, looks like a slow answer rather than an error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"rangeagg"
 	"rangeagg/internal/dataset"
@@ -37,12 +51,22 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		maxErr   = flag.Float64("maxerr", math.NaN(),
 			"per-query error budget: answer from the synopsis only when its bound is within this, else fall back to the exact data (requires -data)")
+		routerURL = flag.String("router", "", "query a synrouter (or synserve) at this base URL instead of a local synopsis file")
+		synName   = flag.String("name", "", "remote synopsis name to pin (with -router; default: server picks)")
+		metric    = flag.String("metric", "", "remote metric COUNT or SUM (with -router; default COUNT)")
+		retries   = flag.Int("retries", 5, "remote attempts per query on connection-refused/5xx (with -router)")
 	)
 	flag.Var(&queries, "q", "query range a:b (repeatable)")
 	flag.Parse()
 
+	if *routerURL != "" {
+		if err := runRemote(*routerURL, *synName, *metric, queries, *maxErr, *retries); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *synPath == "" {
-		fatal(fmt.Errorf("-syn is required"))
+		fatal(fmt.Errorf("-syn is required (or -router for remote queries)"))
 	}
 	f, err := os.Open(*synPath)
 	if err != nil {
@@ -149,6 +173,113 @@ func main() {
 			m.Queries, m.RMS, m.MAE, m.MaxAbs, m.MeanRel)
 		fmt.Printf("SSE over all ranges: %.6g\n", rangeagg.SSE(counts, syn))
 	}
+}
+
+// runRemote answers the queries over HTTP against a router or node.
+// Transient failures — connection refused, any 5xx — are retried with
+// exponential backoff and jitter; 4xx responses are permanent (the
+// request itself is bad) and fail immediately.
+func runRemote(base, name, metric string, queries []string, maxErr float64, retries int) error {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if retries < 1 {
+		retries = 1
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, qs := range queries {
+		parts := strings.SplitN(qs, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("query %q: want a:b", qs)
+		}
+		v := url.Values{}
+		v.Set("a", parts[0])
+		v.Set("b", parts[1])
+		if name != "" {
+			v.Set("syn", name)
+		}
+		if metric != "" {
+			v.Set("metric", metric)
+		}
+		if !math.IsNaN(maxErr) {
+			v.Set("maxerr", strconv.FormatFloat(maxErr, 'g', -1, 64))
+		}
+		body, err := getWithRetry(client, base+"/query?"+v.Encode(), retries)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", qs, err)
+		}
+		var ans struct {
+			Value    float64  `json:"value"`
+			Err      *float64 `json:"err"`
+			Path     string   `json:"path"`
+			Source   string   `json:"source"`
+			Partial  *bool    `json:"partial"`
+			Rigorous bool     `json:"rigorous"`
+		}
+		if err := json.Unmarshal(body, &ans); err != nil {
+			return fmt.Errorf("query %s: decoding answer: %w", qs, err)
+		}
+		line := fmt.Sprintf("  s[%s,%s] ≈ %.2f", parts[0], parts[1], ans.Value)
+		if ans.Err != nil {
+			line += fmt.Sprintf(" ±%.2f", *ans.Err)
+		}
+		if ans.Path != "" {
+			line += "   path " + ans.Path
+		}
+		if ans.Source != "" {
+			line += "   source " + ans.Source
+		}
+		if ans.Partial != nil && *ans.Partial {
+			line += "   PARTIAL (some windows unserved)"
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// getWithRetry GETs the URL, retrying transient failures with
+// exponential backoff (50ms base, doubling, up to 50% jitter).
+func getWithRetry(client *http.Client, u string, attempts int) ([]byte, error) {
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := backoff << (attempt - 1)
+			if d > 2*time.Second {
+				d = 2 * time.Second
+			}
+			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+			fmt.Fprintf(os.Stderr, "synquery: retrying in %s: %v\n", d.Round(time.Millisecond), lastErr)
+			time.Sleep(d)
+		}
+		resp, err := client.Get(u)
+		if err != nil {
+			lastErr = err // connection refused, timeout, DNS — transient
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			return body, nil
+		}
+		msg := resp.Status
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			msg = fmt.Sprintf("%s: %s", resp.Status, e.Error)
+		}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, fmt.Errorf("%s", msg) // permanent: the request is bad
+		}
+		lastErr = fmt.Errorf("%s", msg)
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", attempts, lastErr)
 }
 
 func parseRange(s string, n int) (int, int, error) {

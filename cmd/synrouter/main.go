@@ -1,0 +1,114 @@
+// Command synrouter fronts a cluster of segment-owning synserve nodes
+// with a single query endpoint: it splits every range across the nodes
+// whose windows it touches, fans the sub-queries out concurrently,
+// merges the values exactly (cum-diff composition) and the error bounds
+// additively, and degrades gracefully — failing sub-queries over to
+// replicas with backoff and, when a whole window stays unreachable,
+// returning a partial answer that says exactly which ranges are
+// missing instead of an opaque error.
+//
+// Usage:
+//
+//	synrouter -topology topology.json
+//	synrouter -topology topology.json -addr 127.0.0.1:9800 -attempts 4
+//
+// The topology file is static JSON:
+//
+//	{
+//	  "domain": 4096,
+//	  "nodes": [
+//	    {"id": "n0", "addr": "127.0.0.1:9736", "window": [0, 2047],
+//	     "replicas": ["127.0.0.1:9737"]},
+//	    {"id": "n1", "addr": "127.0.0.1:9738", "window": [2048, 4095]}
+//	  ]
+//	}
+//
+// Windows must tile the domain exactly. The router is stateless: run as
+// many as you like against the same topology.
+//
+// Endpoints: /query /query/batch /ingest /load /healthz /topology
+// /metrics /metrics.prom (see internal/cluster.NewHandler). The query
+// surface matches a single synserve node, so synquery works unchanged
+// pointed at a router.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rangeagg/internal/cluster"
+	"rangeagg/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9800", "listen address")
+		topoPath   = flag.String("topology", "", "topology JSON file (required)")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-attempt sub-query timeout")
+		attempts   = flag.Int("attempts", 0, "attempts per window (0 = endpoints+1)")
+		backoff    = flag.Duration("backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		healthEv   = flag.Duration("health-every", 1*time.Second, "node health poll interval")
+		readTO     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTO    = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		shutdownTO = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	if *topoPath == "" {
+		fatal(fmt.Errorf("-topology is required"))
+	}
+	topo, err := cluster.LoadTopology(*topoPath)
+	if err != nil {
+		fatal(err)
+	}
+	router := cluster.NewRouter(topo, cluster.RouterConfig{
+		Timeout:     *timeout,
+		Attempts:    *attempts,
+		Backoff:     *backoff,
+		HealthEvery: *healthEv,
+	})
+	defer router.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:      cluster.NewHandler(router, serve.NewMetrics()),
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "synrouter: listening on %s (domain %d, %d nodes)\n",
+		ln.Addr(), topo.Domain, len(topo.Nodes))
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "synrouter: shutdown complete")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "synrouter:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,12 @@
 // ride along with the debounced rebuilds, and a restart recovers the
 // exact pre-crash state (newest checkpoint plus replayed log tail).
 //
+// With -follow the server is a replica: it pulls the named primary's
+// /checkpoint on an interval and installs it (synserve -domain 1024
+// -follow http://primary:9736). Replicas report replication state on
+// /healthz and stay unready until their first successful install; the
+// cluster router (cmd/synrouter) fails reads over to them.
+//
 // Endpoints: /health /query /query/batch /ingest /load /rebuild /synopsis
 // /metrics /metrics.prom /trace (see internal/serve.NewHandler), plus
 // /debug/pprof/ with -pprof. Spans slower than -slow-op are logged to
@@ -37,6 +43,7 @@ import (
 	"time"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/cluster"
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/engine"
 	"rangeagg/internal/obs"
@@ -65,6 +72,9 @@ func main() {
 		ckptEvery  = flag.Int64("checkpoint-every", 1024, "checkpoint once this many WAL records accumulate")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the listen address")
 		slowOp     = flag.Duration("slow-op", 500*time.Millisecond, "log spans slower than this to stderr (0 disables)")
+		nodeID     = flag.String("node-id", "", "cluster node id reported on /healthz (optional)")
+		follow     = flag.String("follow", "", "replicate from this primary's /checkpoint (replica mode; excludes -data-dir)")
+		followEv   = flag.Duration("follow-every", 2*time.Second, "replication pull interval with -follow")
 	)
 	flag.Var(&syns, "syn", "synopsis spec name:METHOD:budgetWords[:COUNT|SUM] (repeatable)")
 	flag.Parse()
@@ -80,7 +90,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := serve.Config{Debounce: *debounce, MaxLag: *maxLag}
+	cfg := serve.Config{Debounce: *debounce, MaxLag: *maxLag, NodeID: *nodeID}
+	if *follow != "" && *dataDir != "" {
+		fatal(fmt.Errorf("-follow and -data-dir are exclusive: a replica's state is owned by its primary's WAL, not a local one"))
+	}
 
 	var eng *engine.Engine
 	var db *wal.DB
@@ -108,6 +121,13 @@ func main() {
 		// recovering, any synopses rebuilt from the checkpoint) has
 		// already fed them.
 		fmt.Fprintf(os.Stderr, "synserve: build timings: %s\n", banner)
+	}
+
+	if *follow != "" {
+		follower := &cluster.Follower{Primary: *follow, Server: srv, Every: *followEv, AdoptSpecs: true}
+		follower.Start()
+		defer follower.Stop()
+		fmt.Fprintf(os.Stderr, "synserve: replicating from %s every %s\n", follower.Primary, *followEv)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,323 @@
+package rangeagg_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rangeagg/internal/dataset"
+)
+
+// TestClusterEndToEnd drives the full multi-node stack through the real
+// binaries: three segment-owning synserve nodes (two durable, one with
+// a replication follower), a synrouter fanning queries across them, and
+// synquery pointed at the router. It then SIGKILLs the replicated
+// node's primary (the router must fail over to the replica, still
+// exact), SIGKILLs an unreplicated node (the router must degrade to the
+// partial-answer contract, never a silently wrong total), and restarts
+// the killed node from its data directory (the cluster must converge
+// back to full exact answers).
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	const domain = 96
+	dir := t.TempDir()
+
+	// Real binaries (not `go run`) so SIGKILL hits the servers themselves.
+	synserve := filepath.Join(dir, "synserve")
+	if out, err := exec.Command("go", "build", "-o", synserve, "./cmd/synserve").CombinedOutput(); err != nil {
+		t.Fatalf("building synserve: %v\n%s", err, out)
+	}
+	synrouter := filepath.Join(dir, "synrouter")
+	if out, err := exec.Command("go", "build", "-o", synrouter, "./cmd/synrouter").CombinedOutput(); err != nil {
+		t.Fatalf("building synrouter: %v\n%s", err, out)
+	}
+
+	// Deterministic counts; each node's CSV holds the full domain with
+	// zeros outside its owned window.
+	counts := make([]int64, domain)
+	for i := range counts {
+		counts[i] = int64((i*7)%11 + 1)
+	}
+	windows := [3][2]int{{0, 31}, {32, 63}, {64, 95}}
+	sumRange := func(a, b int) (s int64) {
+		for i := a; i <= b; i++ {
+			s += counts[i]
+		}
+		return s
+	}
+	csvFor := func(node int) string {
+		owned := make([]int64, domain)
+		w := windows[node]
+		copy(owned[w[0]:w[1]+1], counts[w[0]:w[1]+1])
+		d, err := dataset.New(fmt.Sprintf("n%d", node), owned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("n%d.csv", node))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.WriteCSV(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+
+	// start launches a binary and returns its command and announced addr.
+	start := func(bin string, args ...string) (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = "."
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			_ = syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+			_, _ = cmd.Process.Wait()
+		})
+		sc := bufio.NewScanner(stderr)
+		var addr string
+		var tail []string
+		for sc.Scan() {
+			line := sc.Text()
+			tail = append(tail, line)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr = strings.Fields(line[i+len("listening on "):])[0]
+				break
+			}
+		}
+		if addr == "" {
+			t.Fatalf("%s announced no address; stderr: %s", filepath.Base(bin), strings.Join(tail, "\n"))
+		}
+		go func() { // keep draining so the child never blocks on stderr
+			for sc.Scan() {
+			}
+		}()
+		return cmd, addr
+	}
+
+	// Three owners: n0 plain, n1 and n2 durable (n2 feeds a replica).
+	_, addr0 := start(synserve, "-addr", "127.0.0.1:0", "-data", csvFor(0), "-debounce", "5ms")
+	n1dir := filepath.Join(dir, "n1-data")
+	n1cmd, addr1 := start(synserve, "-addr", "127.0.0.1:0", "-data", csvFor(1),
+		"-data-dir", n1dir, "-fsync", "off", "-debounce", "5ms")
+	n2cmd, addr2 := start(synserve, "-addr", "127.0.0.1:0", "-data", csvFor(2),
+		"-data-dir", filepath.Join(dir, "n2-data"), "-fsync", "off", "-debounce", "5ms")
+
+	// n2's replica: a bare follower that converges by pulling checkpoints.
+	_, addrRep2 := start(synserve, "-addr", "127.0.0.1:0", "-domain", fmt.Sprint(domain),
+		"-follow", "http://"+addr2, "-follow-every", "100ms", "-debounce", "5ms")
+
+	topoPath := filepath.Join(dir, "topology.json")
+	topo := map[string]any{
+		"domain": domain,
+		"nodes": []map[string]any{
+			{"id": "n0", "addr": addr0, "window": windows[0]},
+			{"id": "n1", "addr": addr1, "window": windows[1]},
+			{"id": "n2", "addr": addr2, "window": windows[2], "replicas": []string{addrRep2}},
+		},
+	}
+	raw, err := json.MarshalIndent(topo, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(topoPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, routerAddr := start(synrouter, "-addr", "127.0.0.1:0", "-topology", topoPath,
+		"-health-every", "100ms", "-backoff", "5ms", "-timeout", "2s")
+	base := "http://" + routerAddr
+
+	type routedAnswer struct {
+		Value   float64 `json:"value"`
+		Err     *float64
+		Partial bool `json:"partial"`
+		Windows []struct {
+			Node    string `json:"node"`
+			Status  string `json:"status"`
+			Replica bool   `json:"replica"`
+		} `json:"windows"`
+	}
+	query := func(a, b int) (routedAnswer, int) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/query?a=%d&b=%d&maxerr=0", base, a, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ans routedAnswer
+		if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+			t.Fatal(err)
+		}
+		return ans, resp.StatusCode
+	}
+
+	// The router reports ready once every window has a live owner (and
+	// the replica has pulled its first checkpoint).
+	waitReady := func() {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("router never became ready")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	waitReady()
+
+	// Healthy cluster: routed exact answers across all boundaries.
+	for _, rg := range [][2]int{{0, domain - 1}, {20, 40}, {31, 32}, {63, 64}, {10, 90}} {
+		ans, status := query(rg[0], rg[1])
+		if status != http.StatusOK || ans.Partial {
+			t.Fatalf("[%d,%d]: status %d partial=%v", rg[0], rg[1], status, ans.Partial)
+		}
+		if ans.Value != float64(sumRange(rg[0], rg[1])) {
+			t.Fatalf("[%d,%d]: routed %v, want %d", rg[0], rg[1], ans.Value, sumRange(rg[0], rg[1]))
+		}
+	}
+
+	// Batched fan-out over all three nodes.
+	batchReq, _ := json.Marshal(map[string]any{"ranges": [][2]int{{0, 95}, {30, 70}, {5, 5}}, "maxerr": 0.0})
+	resp, err := http.Post(base+"/query/batch", "application/json", bytes.NewReader(batchReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch struct {
+		Values  []float64 `json:"values"`
+		Served  []bool    `json:"served"`
+		Partial bool      `json:"partial"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if batch.Partial || len(batch.Values) != 3 {
+		t.Fatalf("healthy batch: %+v", batch)
+	}
+	for i, rg := range [][2]int{{0, 95}, {30, 70}, {5, 5}} {
+		if batch.Values[i] != float64(sumRange(rg[0], rg[1])) {
+			t.Fatalf("batch range %v: %v, want %d", rg, batch.Values[i], sumRange(rg[0], rg[1]))
+		}
+	}
+
+	// synquery pointed at the router (its retry loop rides out transient
+	// fan-out hiccups).
+	out, _ := runCmd(t, "", "./cmd/synquery", "-router", base, "-maxerr", "0", "-q", "20:40")
+	if !strings.Contains(out, fmt.Sprintf("≈ %d.00", sumRange(20, 40))) {
+		t.Errorf("synquery via router: %s", out)
+	}
+
+	// Kill n2's primary: the router must fail over to the replica and
+	// stay exact — not partial, not wrong.
+	_ = syscall.Kill(-n2cmd.Process.Pid, syscall.SIGKILL)
+	_, _ = n2cmd.Process.Wait()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ans, status := query(70, 90)
+		if status == http.StatusOK && !ans.Partial && ans.Value == float64(sumRange(70, 90)) {
+			servedByReplica := false
+			for _, w := range ans.Windows {
+				if w.Node == "n2" && w.Replica {
+					servedByReplica = true
+				}
+			}
+			if servedByReplica {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n2's window never failed over to the replica: %+v status %d", ans, status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Kill n1 (no replica): a spanning query must degrade to a partial
+	// answer covering the surviving windows and saying which one failed.
+	_ = syscall.Kill(-n1cmd.Process.Pid, syscall.SIGKILL)
+	_, _ = n1cmd.Process.Wait()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		ans, status := query(0, domain-1)
+		if status == http.StatusOK && ans.Partial {
+			want := float64(sumRange(0, 31) + sumRange(64, 95))
+			if ans.Value != want {
+				t.Fatalf("partial value %v, want the surviving windows' %v", ans.Value, want)
+			}
+			failed := ""
+			for _, w := range ans.Windows {
+				if w.Status == "failed" {
+					failed = w.Node
+				}
+			}
+			if failed != "n1" {
+				t.Fatalf("failed window should be n1: %+v", ans.Windows)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spanning query never reported partial: %+v status %d", ans, status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Mid-outage batch: ranges inside surviving windows stay exact,
+	// ranges touching n1 are flagged unserved.
+	batchReq, _ = json.Marshal(map[string]any{"ranges": [][2]int{{0, 31}, {40, 50}}, "maxerr": 0.0})
+	resp, err = http.Post(base+"/query/batch", "application/json", bytes.NewReader(batchReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !batch.Partial || !batch.Served[0] || batch.Served[1] {
+		t.Fatalf("mid-outage batch: %+v", batch)
+	}
+	if batch.Values[0] != float64(sumRange(0, 31)) {
+		t.Fatalf("surviving batch range: %v, want %d", batch.Values[0], sumRange(0, 31))
+	}
+
+	// Restart n1 from its data directory: recovery (checkpoint + WAL
+	// tail) brings the cluster back to full exact answers.
+	start(synserve, "-addr", strings.TrimPrefix(addr1, "http://"), "-data-dir", n1dir,
+		"-fsync", "off", "-debounce", "5ms")
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		ans, status := query(0, domain-1)
+		if status == http.StatusOK && !ans.Partial && ans.Value == float64(sumRange(0, domain-1)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never recovered after restart: %+v status %d", ans, status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

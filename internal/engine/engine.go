@@ -126,6 +126,31 @@ func (e *Engine) Load(counts []int64) error {
 	return nil
 }
 
+// Replace overwrites the whole distribution with counts — unlike Load,
+// which adds on top of the existing data. It is the replication install
+// path: a replica receiving a primary's checkpoint swaps its state for
+// the checkpoint's counts wholesale, so its exact tables and synopses
+// converge to the primary's after the next rebuild.
+func (e *Engine) Replace(counts []int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(counts) != e.domain {
+		return fmt.Errorf("engine: replace of %d values into domain %d", len(counts), e.domain)
+	}
+	var records int64
+	for v, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("engine: negative count %d at value %d", c, v)
+		}
+		records += c
+	}
+	copy(e.counts, counts)
+	e.records = records
+	e.version++
+	e.markDirtyAll()
+	return nil
+}
+
 // Insert adds occurrences records with the given attribute value.
 func (e *Engine) Insert(value int, occurrences int64) error {
 	if occurrences <= 0 {

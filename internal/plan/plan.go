@@ -43,6 +43,17 @@ func (p Path) String() string {
 	return pathNames[p]
 }
 
+// ParsePath inverts String for the wire names; ok is false for unknown
+// names (e.g. a newer server speaking a name this build predates).
+func ParsePath(s string) (Path, bool) {
+	for i, name := range pathNames {
+		if name == s {
+			return Path(i), true
+		}
+	}
+	return 0, false
+}
+
 // ErrBudget reports an unmeetable budget: no synopsis bound was small
 // enough and the view has no exact fallback.
 var ErrBudget = errors.New("plan: no path meets the error budget")

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHealthzReadiness pins the readiness contract: ready while the
+// snapshot is fresh, 503 once mutations older than MaxLag are still
+// unpublished, ready again after the rebuild.
+func TestHealthzReadiness(t *testing.T) {
+	_, s := newTestServer(t, 64, Config{Debounce: time.Hour, MaxLag: 20 * time.Millisecond, NodeID: "n0"})
+
+	h := s.Health()
+	if !h.Ready || h.Status != "ok" || h.NodeID != "n0" {
+		t.Fatalf("fresh server must be ready: %+v", h)
+	}
+
+	// A mutation starts the staleness clock; with the debouncer parked
+	// the snapshot goes stale past MaxLag.
+	if err := s.Insert(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	h = s.Health()
+	if h.Ready || h.Status != "degraded" {
+		t.Fatalf("stale server must be degraded: %+v", h)
+	}
+	if h.StalenessS <= 0 {
+		t.Fatalf("staleness must be reported: %+v", h)
+	}
+
+	// Publishing clears the staleness.
+	if err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if h = s.Health(); !h.Ready || h.StalenessS != 0 {
+		t.Fatalf("rebuilt server must be ready again: %+v", h)
+	}
+	if h.SnapshotAgeS < 0 {
+		t.Fatalf("snapshot age must be non-negative: %+v", h)
+	}
+}
+
+// TestHealthzEndpoint pins the HTTP side: 200 when ready, 503 when not.
+func TestHealthzEndpoint(t *testing.T) {
+	s, _, ts := newTestHandler(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready node /healthz: %d", resp.StatusCode)
+	}
+
+	// An unsynced follower forces 503 regardless of snapshot freshness.
+	s.SetFollowState(FollowState{Primary: "http://primary", Synced: false, PulledAt: time.Now(), Err: "refused"})
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unsynced follower /healthz: %d, want 503", resp.StatusCode)
+	}
+
+	h := s.Health()
+	if h.Follow == nil || h.Follow.Primary != "http://primary" || h.Follow.LastErr != "refused" {
+		t.Fatalf("follow state not republished: %+v", h.Follow)
+	}
+
+	// Synced again: readiness returns.
+	s.SetFollowState(FollowState{Primary: "http://primary", Applied: 7, Synced: true, PulledAt: time.Now()})
+	if h = s.Health(); !h.Ready || h.Follow.Applied != 7 {
+		t.Fatalf("synced follower must be ready: %+v", h)
+	}
+}
+
+// TestCheckpointEndpointRequiresWAL pins the 409 for non-durable nodes.
+func TestCheckpointEndpointRequiresWAL(t *testing.T) {
+	_, _, ts := newTestHandler(t)
+	resp, err := http.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("non-durable /checkpoint: %d, want 409", resp.StatusCode)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -18,6 +19,10 @@ import (
 // NewHandler exposes a Server over HTTP/JSON:
 //
 //	GET  /health            liveness, data version, synopsis names
+//	GET  /healthz           readiness: snapshot version, staleness vs
+//	                        MaxLag, replication state; 503 when not ready
+//	GET  /checkpoint        stream the newest atomic checkpoint (durable
+//	                        nodes only) — the replication pull source
 //	GET  /query             one query: ?a=&b=[&syn=][&metric=COUNT|SUM]
 //	POST /query/batch       {"synopsis","metric","ranges":[[a,b],...]}
 //	POST /ingest            {"inserts":[{"value","count"}],"deletes":[...]}
@@ -67,6 +72,45 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 			resp["last_rebuild_error"] = err.Error()
 		}
 		writeJSON(w, http.StatusOK, resp)
+		return 0, nil
+	})
+
+	handle("/healthz", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		h := s.Health()
+		status := http.StatusOK
+		if !h.Ready {
+			// Load balancers and the cluster router key on the status code;
+			// the body carries the full readiness detail either way.
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+		return 0, nil
+	})
+
+	handle("/checkpoint", http.MethodGet, func(w http.ResponseWriter, r *http.Request) (int, error) {
+		db := s.cfg.WAL
+		if db == nil {
+			return http.StatusConflict, fmt.Errorf("serve: node is not durable; no checkpoint to stream")
+		}
+		// Keep replica lag bounded by the pull interval, not the
+		// checkpoint cadence: fold any records logged since the last
+		// checkpoint into a fresh one before streaming. With nothing new
+		// this is free.
+		if db.Stats().RecordsSinceCkpt > 0 {
+			if err := db.Checkpoint(); err != nil {
+				return http.StatusInternalServerError, err
+			}
+		}
+		rc, applied, size, err := db.OpenNewestCheckpoint()
+		if err != nil {
+			return http.StatusInternalServerError, err
+		}
+		defer rc.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		w.Header().Set("X-Checkpoint-Applied", strconv.FormatUint(applied, 10))
+		// Copy errors past the header write are a dead client.
+		_, _ = io.Copy(w, rc)
 		return 0, nil
 	})
 

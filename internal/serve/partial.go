@@ -1,5 +1,7 @@
 package serve
 
+import "time"
+
 // window accumulates the value range mutated since the last snapshot
 // rebuild captured it. The server keeps one global window (all specs
 // summarize the same column): ingest wrappers widen it, bulk paths and
@@ -50,6 +52,7 @@ func (w *window) merge(o window) {
 func (s *Server) markValue(v int) {
 	s.winMu.Lock()
 	s.win.markValue(v)
+	s.stampDirtyLocked()
 	s.winMu.Unlock()
 }
 
@@ -57,7 +60,16 @@ func (s *Server) markValue(v int) {
 func (s *Server) markAll() {
 	s.winMu.Lock()
 	s.win.markAll()
+	s.stampDirtyLocked()
 	s.winMu.Unlock()
+}
+
+// stampDirtyLocked records when the window first became dirty — the
+// /healthz staleness clock. Caller holds winMu.
+func (s *Server) stampDirtyLocked() {
+	if s.dirtyAt == 0 {
+		s.dirtyAt = time.Now().UnixNano()
+	}
 }
 
 // SegmentStats reports how much snapshot-rebuild work the segmented

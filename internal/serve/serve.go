@@ -68,6 +68,9 @@ type Config struct {
 	// without re-logging. Entries whose name has no registered spec are
 	// ignored.
 	RecoveredShards []wal.ShardMerge
+	// NodeID names this node in /healthz (cluster deployments); empty is
+	// fine for standalone servers.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -110,9 +113,18 @@ type Server struct {
 	shards  map[string][]build.Estimator
 
 	// winMu guards win, the mutated value window Rebuild's partial path
-	// consumes.
-	winMu sync.Mutex
-	win   window
+	// consumes, and dirtyAt, the unix-nano timestamp of the oldest
+	// mutation not yet reflected in the served snapshot (0 = none) —
+	// the /healthz staleness signal.
+	winMu   sync.Mutex
+	win     window
+	dirtyAt int64
+
+	// swappedAt is when the served snapshot was published (unix nanos).
+	swappedAt atomic.Int64
+	// follow is the replication state a Follower reports (nil when this
+	// node follows no primary).
+	follow atomic.Pointer[FollowState]
 
 	// Partial-rebuild counters (see SegmentStats).
 	segRebuilt atomic.Int64
@@ -186,6 +198,11 @@ func New(eng *engine.Engine, specs []engine.SynopsisSpec, cfg Config) (*Server, 
 	}
 	if err := s.Rebuild(); err != nil {
 		return nil, err
+	}
+	if s.cfg.WAL != nil {
+		// Checkpoints carry the serving specs so replicas (and recovery)
+		// can rebuild this node's full serving shape from counts alone.
+		s.cfg.WAL.SetDeclaredSpecs(s.specs)
 	}
 	go s.debounceLoop()
 	return s, nil
@@ -492,11 +509,18 @@ func (s *Server) Rebuild() error {
 	// mutations are not lost.
 	s.winMu.Lock()
 	win := s.win
+	dirtyAt := s.dirtyAt
 	s.win = window{}
+	s.dirtyAt = 0
 	s.winMu.Unlock()
 	fail := func(err error) error {
 		s.winMu.Lock()
 		s.win.merge(win)
+		// Restore the staleness clock: the captured mutations are still
+		// pending, so /healthz must keep aging them.
+		if dirtyAt != 0 && (s.dirtyAt == 0 || dirtyAt < s.dirtyAt) {
+			s.dirtyAt = dirtyAt
+		}
 		s.winMu.Unlock()
 		s.lastErr.Store(&rebuildError{err: err})
 		return err
@@ -622,6 +646,7 @@ func (s *Server) Rebuild() error {
 	snap.epoch = s.rebuilds.Add(1)
 	snap.buildViews()
 	s.snap.Store(snap)
+	s.swappedAt.Store(time.Now().UnixNano())
 	s.lastErr.Store(&rebuildError{})
 	snapshotSwaps.Inc()
 	snapshotVersion.Set(snap.Version)

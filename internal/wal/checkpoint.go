@@ -108,30 +108,37 @@ func writeCheckpointBytes(dir string, applied uint64, body []byte) error {
 
 // readCheckpoint loads and validates one checkpoint file.
 func readCheckpoint(path string) (checkpointWire, error) {
-	var wire checkpointWire
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return wire, fmt.Errorf("wal: reading checkpoint %s: %w", path, err)
+		return checkpointWire{}, fmt.Errorf("wal: reading checkpoint %s: %w", path, err)
 	}
+	return decodeCheckpointBytes(buf, path)
+}
+
+// decodeCheckpointBytes validates and decodes a checkpoint's framed
+// bytes, whether they came from a local file or a replication stream.
+// src names the source for error messages.
+func decodeCheckpointBytes(buf []byte, src string) (checkpointWire, error) {
+	var wire checkpointWire
 	hdrLen := len(ckptMagic) + recHdrLen
 	if len(buf) < hdrLen || string(buf[:len(ckptMagic)]) != ckptMagic {
-		return wire, fmt.Errorf("wal: checkpoint %s: bad header", path)
+		return wire, fmt.Errorf("wal: checkpoint %s: bad header", src)
 	}
 	n := int(binary.LittleEndian.Uint32(buf[len(ckptMagic):]))
 	sum := binary.LittleEndian.Uint32(buf[len(ckptMagic)+4:])
 	body := buf[hdrLen:]
 	if n != len(body) || crc32.Checksum(body, castagnoli) != sum {
-		return wire, fmt.Errorf("wal: checkpoint %s: checksum mismatch", path)
+		return wire, fmt.Errorf("wal: checkpoint %s: checksum mismatch", src)
 	}
 	if err := json.Unmarshal(body, &wire); err != nil {
-		return wire, fmt.Errorf("wal: checkpoint %s: %w", path, err)
+		return wire, fmt.Errorf("wal: checkpoint %s: %w", src, err)
 	}
 	if wire.Domain <= 0 || len(wire.Counts) != wire.Domain {
-		return wire, fmt.Errorf("wal: checkpoint %s: %d counts for domain %d", path, len(wire.Counts), wire.Domain)
+		return wire, fmt.Errorf("wal: checkpoint %s: %d counts for domain %d", src, len(wire.Counts), wire.Domain)
 	}
 	for v, c := range wire.Counts {
 		if c < 0 {
-			return wire, fmt.Errorf("wal: checkpoint %s: negative count at value %d", path, v)
+			return wire, fmt.Errorf("wal: checkpoint %s: negative count at value %d", src, v)
 		}
 	}
 	return wire, nil

@@ -118,10 +118,11 @@ type DB struct {
 
 	// mu serializes mutations with their log appends (and with
 	// checkpoint state capture).
-	mu     sync.Mutex
-	eng    *engine.Engine
-	log    *Log
-	shards []ShardMerge // durable serving-layer inbox
+	mu       sync.Mutex
+	eng      *engine.Engine
+	log      *Log
+	shards   []ShardMerge          // durable serving-layer inbox
+	declared []engine.SynopsisSpec // serving-layer specs to carry in checkpoints
 
 	// ckptMu serializes checkpoint writes against each other.
 	ckptMu sync.Mutex
@@ -513,6 +514,7 @@ func (d *DB) Checkpoint() error {
 	applied := d.log.LastIndex()
 	counts := d.eng.Counts()
 	syns := d.eng.Synopses()
+	declared := append([]engine.SynopsisSpec(nil), d.declared...)
 	shards := append([]ShardMerge(nil), d.shards...)
 	if err := d.log.Rotate(); err != nil {
 		d.mu.Unlock()
@@ -533,6 +535,21 @@ func (d *DB) Checkpoint() error {
 			cs.Blob = blob
 		}
 		wire.Synopses = append(wire.Synopses, cs)
+	}
+	// Declared serving-layer specs ride along as spec-only entries (no
+	// blob); recovery — and a replica installing this checkpoint —
+	// rebuilds them from the checkpoint counts.
+	for _, sp := range declared {
+		dup := false
+		for _, cs := range wire.Synopses {
+			if cs.Name == sp.Name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			wire.Synopses = append(wire.Synopses, ckptSynopsis{Name: sp.Name, Metric: int(sp.Metric), Options: sp.Options})
+		}
 	}
 	for _, sh := range shards {
 		blob, err := encodeEstimator(sh.Est)
