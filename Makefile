@@ -12,7 +12,7 @@ race:
 	$(GO) test -race -count=1 ./...
 
 bench:
-	$(GO) test -run '^$$' -bench 'ConstructScaling|ServeHTTP|SegmentedRebuild|RouterFanout' -benchtime 100ms .
+	$(GO) test -run '^$$' -bench 'ConstructScaling|ServeHTTP|SegmentedRebuild|RouterFanout|IngestSustained' -benchtime 100ms .
 
 # Gate the benchmarks against the committed baseline (fails on >15%
 # median regression; see scripts/benchdiff).
@@ -28,13 +28,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadSynopsis -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzEngineQuery -fuzztime 10s ./internal/engine
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzPlannerBudget -fuzztime 10s ./internal/plan
+	$(GO) test -run '^$$' -fuzz FuzzIngestMaintain -fuzztime 10s ./internal/ingest
 
+# The single source of truth for the floor-gated package list: CI's
+# coverage step runs `make cover` rather than repeating it.
 cover:
 	$(GO) test -short -coverprofile=cover.out -coverpkg=./... ./...
 	$(GO) run ./scripts/coverfloor -profile cover.out -floor 70 \
 		rangeagg/internal/serve rangeagg/internal/oracle rangeagg/internal/codec \
 		rangeagg/internal/wal rangeagg/internal/obs rangeagg/internal/plan \
-		rangeagg/internal/segment rangeagg/internal/cluster
+		rangeagg/internal/segment rangeagg/internal/cluster \
+		rangeagg/internal/reopt rangeagg/internal/ingest
 
 lint:
 	$(GO) vet ./...

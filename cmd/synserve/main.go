@@ -46,6 +46,7 @@ import (
 	"rangeagg/internal/cluster"
 	"rangeagg/internal/dataset"
 	"rangeagg/internal/engine"
+	"rangeagg/internal/ingest"
 	"rangeagg/internal/obs"
 	"rangeagg/internal/serve"
 	"rangeagg/internal/wal"
@@ -75,6 +76,8 @@ func main() {
 		nodeID     = flag.String("node-id", "", "cluster node id reported on /healthz (optional)")
 		follow     = flag.String("follow", "", "replicate from this primary's /checkpoint (replica mode; excludes -data-dir)")
 		followEv   = flag.Duration("follow-every", 2*time.Second, "replication pull interval with -follow")
+		ingestMode = flag.String("ingest-mode", "rebuild", "write-path maintenance: rebuild (debounced full/partial rebuilds) or incremental (absorb deltas in place, escalate on SSE drift)")
+		driftThr   = flag.Float64("drift-threshold", 0, "incremental mode: workload-SSE drift ratio that triggers boundary repair, then escalation (0 = default 4)")
 	)
 	flag.Var(&syns, "syn", "synopsis spec name:METHOD:budgetWords[:COUNT|SUM] (repeatable)")
 	flag.Parse()
@@ -90,7 +93,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := serve.Config{Debounce: *debounce, MaxLag: *maxLag, NodeID: *nodeID}
+	mode, err := ingest.ParseMode(*ingestMode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := serve.Config{
+		Debounce: *debounce, MaxLag: *maxLag, NodeID: *nodeID,
+		Ingest: ingest.Config{Mode: mode, DriftThreshold: *driftThr},
+	}
 	if *follow != "" && *dataDir != "" {
 		fatal(fmt.Errorf("-follow and -data-dir are exclusive: a replica's state is owned by its primary's WAL, not a local one"))
 	}

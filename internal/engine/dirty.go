@@ -65,10 +65,10 @@ func (e *Engine) markDirtyAll() {
 }
 
 // resetWatch starts (or stops) dirty tracking for a freshly installed
-// synopsis: rebuild-capable methods get a clean window, others drop any
-// stale one. Callers hold e.mu.
+// synopsis: rebuild-capable and incrementally-maintained synopses get a
+// clean window, others drop any stale one. Callers hold e.mu.
 func (e *Engine) resetWatch(name string, opt build.Options) {
-	if build.CanRebuild(opt) {
+	if build.CanRebuild(opt) || e.maint[name] != nil {
 		e.watch[name] = &dirtyWindow{}
 	} else {
 		delete(e.watch, name)

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"rangeagg/internal/build"
+	"rangeagg/internal/ingest"
 	"rangeagg/internal/method"
 	"rangeagg/internal/obs"
 	"rangeagg/internal/parallel"
@@ -73,6 +74,9 @@ type Engine struct {
 	synopses map[string]*Synopsis
 	// watch tracks the mutated value window per rebuild-capable synopsis.
 	watch map[string]*dirtyWindow
+	// maint holds the incremental-maintenance state of synopses opted in
+	// through EnableIngest, keyed like synopses/watch.
+	maint map[string]*ingest.State
 }
 
 // Synopsis is a built summary registered under a name.
@@ -104,6 +108,7 @@ func New(name string, domain int) (*Engine, error) {
 		counts:   make([]int64, domain),
 		synopses: make(map[string]*Synopsis),
 		watch:    make(map[string]*dirtyWindow),
+		maint:    make(map[string]*ingest.State),
 	}, nil
 }
 
@@ -114,15 +119,30 @@ func (e *Engine) Load(counts []int64) error {
 	if len(counts) != e.domain {
 		return fmt.Errorf("engine: load of %d values into domain %d", len(counts), e.domain)
 	}
+	// Track the span of loaded mass so the dirty windows stay precise: a
+	// load confined to a value window keeps partial rebuilds and
+	// incremental maintenance partial instead of going fully dirty.
+	lo, hi := -1, -1
 	for v, c := range counts {
 		if c < 0 {
 			return fmt.Errorf("engine: negative count %d at value %d", c, v)
 		}
+		if c > 0 {
+			if lo < 0 {
+				lo = v
+			}
+			hi = v
+		}
 		e.counts[v] += c
 		e.records += c
 	}
-	e.version++
-	e.markDirtyAll()
+	// An all-zero load mutates nothing: the version (the staleness clock)
+	// stays put and no window dirties.
+	if lo >= 0 {
+		e.version++
+		e.markDirtyValue(lo)
+		e.markDirtyValue(hi)
+	}
 	return nil
 }
 
@@ -299,9 +319,10 @@ func (e *Engine) BuildSynopsis(name string, metric Metric, opt build.Options) (*
 	version := e.version
 	eff := build.WithApprox(opt, e.domain, e.approxCutover)
 	prev := e.synopses[name]
+	st := e.maint[name]
 	var win dirtyWindow
 	captured := false
-	if !build.CanRebuild(opt) {
+	if !build.CanRebuild(opt) && st == nil {
 		delete(e.watch, name)
 	} else {
 		// The window must exist before the unlocked build so concurrent
@@ -330,9 +351,25 @@ func (e *Engine) BuildSynopsis(name string, metric Metric, opt build.Options) (*
 
 	var est build.Estimator
 	var err error
-	if partial {
+	switch {
+	case partial && st != nil && ingest.CanMaintain(prev.Est):
+		// Incremental maintenance: absorb the confined window through the
+		// ingest ladder; only an escalation rebuilds.
+		var out ingest.Outcome
+		est, out, err = ingest.Maintain(counts, prev.Est, win.lo, win.hi, st)
+		if err == nil && out.Action == ingest.Escalate {
+			if build.CanRebuild(opt) {
+				est, _, err = build.Rebuild(counts, opt, prev.Est, win.lo, win.hi)
+			} else {
+				est, err = build.Build(counts, eff)
+			}
+			if err == nil {
+				st.Reset()
+			}
+		}
+	case partial && build.CanRebuild(opt):
 		est, _, err = build.Rebuild(counts, opt, prev.Est, win.lo, win.hi)
-	} else {
+	default:
 		est, err = build.Build(counts, eff)
 	}
 	if err == nil {
@@ -585,6 +622,7 @@ func (e *Engine) DropSynopsis(name string) bool {
 	_, ok := e.synopses[name]
 	delete(e.synopses, name)
 	delete(e.watch, name)
+	delete(e.maint, name)
 	return ok
 }
 
@@ -651,6 +689,7 @@ func (e *Engine) Approx(name string, a, b int) (float64, error) {
 	if !ok {
 		return 0, nil
 	}
+	e.observeQuery(name, a, b)
 	return s.Est.Estimate(a, b), nil
 }
 
@@ -685,6 +724,7 @@ func (e *Engine) ApproxWithError(name string, a, b int) (ApproxAnswer, error) {
 	if !ok {
 		return ApproxAnswer{Value: 0, ErrBound: 0, Rigorous: true}, nil
 	}
+	e.observeQuery(name, a, b)
 	ans := ApproxAnswer{Value: s.Est.Estimate(a, b), ErrBound: math.Inf(1)}
 	if s.ErrModel != nil {
 		ans.ErrBound = s.ErrModel.Bound(a, b)
@@ -713,12 +753,16 @@ func (e *Engine) ApproxBatch(name string, queries []sse.Range) ([]float64, error
 		}
 	}
 	est, domain := s.Est, e.domain
+	maintained := e.maintState(name)
 	out := make([]float64, len(queries))
 	parallel.ForEachChunk(len(queries), 64, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a, b, ok := clamp(queries[i].A, queries[i].B, domain)
 			if !ok {
 				continue
+			}
+			if maintained != nil {
+				maintained.Observe(a, b)
 			}
 			out[i] = est.Estimate(a, b)
 		}

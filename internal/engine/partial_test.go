@@ -83,9 +83,14 @@ func TestSegmentedSynopsisReuse(t *testing.T) {
 	if again != first {
 		t.Error("clean rebuild did not reuse the existing synopsis")
 	}
-	// A bulk load dirties everything: the next build is a full one (a
-	// fresh synopsis, not the reused pointer).
-	if err := e.Load(make([]int64, 256)); err != nil {
+	// A bulk load with mass across the whole domain dirties everything:
+	// the next build is a fresh synopsis, not the reused pointer. (A load
+	// of all zeros is a no-op and would keep the reuse fast path.)
+	bulk := make([]int64, 256)
+	for i := range bulk {
+		bulk[i] = 1
+	}
+	if err := e.Load(bulk); err != nil {
 		t.Fatal(err)
 	}
 	rebuilt, err := e.BuildSynopsis("s", Count, opt)

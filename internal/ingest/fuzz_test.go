@@ -1,0 +1,119 @@
+package ingest
+
+import (
+	"math"
+	"testing"
+
+	"rangeagg/internal/dp"
+	"rangeagg/internal/histogram"
+	"rangeagg/internal/method"
+	"rangeagg/internal/prefix"
+	"rangeagg/internal/segment"
+	"rangeagg/internal/sse"
+)
+
+// FuzzIngestMaintain drives random insert/delete interleavings through
+// the full maintenance ladder on both maintainable shapes and checks the
+// tentpole invariant: every non-escalated batch yields a structurally
+// valid, finite estimator over the current data, and as long as the
+// ladder has only absorbed (no reopt or repair since the last build) the
+// flat histogram is bit-exact against a from-scratch build over the same
+// boundaries. Escalations are honoured with a real rebuild, exactly as
+// the serving layers do.
+func FuzzIngestMaintain(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x05, 0x81, 0x20, 0x03})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff})
+	f.Add([]byte{0x07, 0x3f, 0x7f, 0x42, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		const n, buckets = 64, 8
+		counts := make([]int64, n)
+		for i := range counts {
+			counts[i] = 5
+		}
+		flat, err := dp.A0(prefix.NewTable(counts), buckets, histogram.RoundNone)
+		if err != nil {
+			t.Fatalf("A0: %v", err)
+		}
+		// Drive a segmented twin through the same mutation stream.
+		seg, err := segment.Build(prefix.NewTable(counts), counts, segment.BuildOpts{K: 4, BudgetWords: 24})
+		if err != nil {
+			t.Fatalf("segment build: %v", err)
+		}
+		targets := []struct {
+			name string
+			est  method.Estimator
+			st   *State
+			pure bool // only absorbs since the last (re)build
+		}{
+			{name: "flat", est: flat, st: NewState(Config{Mode: ModeIncremental, DriftThreshold: 2, ReoptEvery: 4}), pure: true},
+			{name: "segmented", est: seg, st: NewState(Config{Mode: ModeIncremental, DriftThreshold: 2, ReoptEvery: 4}), pure: true},
+		}
+
+		for off := 0; off+3 <= len(data); off += 3 {
+			op, pos, raw := data[off], int(data[off+1])%n, int64(1+data[off+2]%16)
+			lo, hi := pos, pos
+			if op&1 == 0 || counts[pos] < raw {
+				counts[pos] += raw
+			} else {
+				counts[pos] -= raw
+			}
+			if op&2 != 0 { // widen the reported window occasionally
+				hi = pos + int(op>>4)
+				if hi > n-1 {
+					hi = n - 1
+				}
+			}
+			for i := range targets {
+				tg := &targets[i]
+				next, out, err := Maintain(counts, tg.est, lo, hi, tg.st)
+				if err != nil {
+					t.Fatalf("%s: maintain: %v", tg.name, err)
+				}
+				if out.Action == Escalate {
+					if next != nil {
+						t.Fatalf("%s: escalate returned an estimator", tg.name)
+					}
+					tab := prefix.NewTable(counts)
+					if tg.name == "flat" {
+						tg.est, err = dp.A0(tab, buckets, histogram.RoundNone)
+					} else {
+						tg.est, err = segment.Build(tab, counts, segment.BuildOpts{K: 4, BudgetWords: 24})
+					}
+					if err != nil {
+						t.Fatalf("%s: escalation rebuild: %v", tg.name, err)
+					}
+					tg.st.Reset()
+					tg.pure = true
+					continue
+				}
+				if next == nil {
+					t.Fatalf("%s: nil estimator without escalation", tg.name)
+				}
+				if next.N() != n {
+					t.Fatalf("%s: domain shrank to %d", tg.name, next.N())
+				}
+				if out.Action != Absorb {
+					tg.pure = false
+				}
+				if full := sse.Of(prefix.NewTable(counts), next); math.IsNaN(full) || math.IsInf(full, 0) || full < 0 {
+					t.Fatalf("%s: SSE not finite/non-negative: %v", tg.name, full)
+				}
+				if h, ok := next.(*histogram.Avg); ok && tg.pure {
+					want, err := histogram.NewAvgFromBounds(prefix.NewTable(counts), h.Buckets, histogram.RoundNone, "want")
+					if err != nil {
+						t.Fatalf("comparator: %v", err)
+					}
+					for j := range want.Values {
+						if h.Values[j] != want.Values[j] {
+							t.Fatalf("flat absorb not bit-exact at bucket %d: %v != %v", j, h.Values[j], want.Values[j])
+						}
+					}
+				}
+				tg.est = next
+			}
+		}
+	})
+}

@@ -279,6 +279,12 @@ func NewHandler(s *Server, m *Metrics) http.Handler {
 			// over, and whole synopses reused across snapshot swaps.
 			resp["segments"] = st
 		}
+		if st := s.IngestStats(); st.RebuildsAvoided+st.Escalated > 0 {
+			// Incremental-maintenance ladder: batches absorbed, values
+			// re-optimized, boundaries repaired, escalations, and the
+			// rebuilds all of that made unnecessary.
+			resp["ingest"] = st
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return 0, nil
 	})

@@ -56,6 +56,16 @@ func (s *Server) markValue(v int) {
 	s.winMu.Unlock()
 }
 
+// markRange records a mutation confined to the inclusive value span
+// [lo,hi] — the bulk-load path whose window is known.
+func (s *Server) markRange(lo, hi int) {
+	s.winMu.Lock()
+	s.win.markValue(lo)
+	s.win.markValue(hi)
+	s.stampDirtyLocked()
+	s.winMu.Unlock()
+}
+
 // markAll records a bulk (or unlocatable) mutation.
 func (s *Server) markAll() {
 	s.winMu.Lock()
@@ -89,5 +99,29 @@ func (s *Server) SegmentStats() SegmentStats {
 		Rebuilt:        s.segRebuilt.Load(),
 		Reused:         s.segReused.Load(),
 		SynopsesReused: s.synReused.Load(),
+	}
+}
+
+// IngestStats reports what the incremental-maintenance ladder did on
+// this server: one count per ladder action across all maintained
+// synopses and publishes, plus the rebuilds those batches made
+// unnecessary (every non-escalated batch is one avoided rebuild of its
+// synopsis).
+type IngestStats struct {
+	Absorbed        int64 `json:"absorbed"`
+	Reoptimized     int64 `json:"reoptimized"`
+	Repaired        int64 `json:"repaired"`
+	Escalated       int64 `json:"escalated"`
+	RebuildsAvoided int64 `json:"rebuilds_avoided"`
+}
+
+// IngestStats returns the server's cumulative maintenance counters.
+func (s *Server) IngestStats() IngestStats {
+	return IngestStats{
+		Absorbed:        s.ingAbsorbed.Load(),
+		Reoptimized:     s.ingReopt.Load(),
+		Repaired:        s.ingRepaired.Load(),
+		Escalated:       s.ingEscalated.Load(),
+		RebuildsAvoided: s.ingAvoided.Load(),
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"rangeagg/internal/build"
 	"rangeagg/internal/engine"
+	"rangeagg/internal/ingest"
 	"rangeagg/internal/method"
 	"rangeagg/internal/obs"
 	"rangeagg/internal/parallel"
@@ -71,6 +72,14 @@ type Config struct {
 	// NodeID names this node in /healthz (cluster deployments); empty is
 	// fine for standalone servers.
 	NodeID string
+	// Ingest configures incremental synopsis maintenance
+	// (internal/ingest). In ModeIncremental, rebuilds whose mutations are
+	// confined to a value window maintain maintainable synopses in place
+	// through the absorb/reopt/repair ladder, escalating to the
+	// dirty-segment or full rebuild paths only when the workload-driven
+	// SSE-drift trigger persists past a repair. The zero value
+	// (ModeRebuild) keeps the pre-ingest rebuild-per-window behaviour.
+	Ingest ingest.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +140,18 @@ type Server struct {
 	segReused  atomic.Int64
 	synReused  atomic.Int64
 
+	// ingMu guards ingStates, the per-synopsis maintenance state created
+	// lazily by Rebuild's maintained path (Config.Ingest incremental).
+	ingMu     sync.RWMutex
+	ingStates map[string]*ingest.State
+
+	// Maintenance counters (see IngestStats).
+	ingAbsorbed  atomic.Int64
+	ingReopt     atomic.Int64
+	ingRepaired  atomic.Int64
+	ingEscalated atomic.Int64
+	ingAvoided   atomic.Int64
+
 	rebuilds atomic.Int64
 	lastErr  atomic.Pointer[rebuildError]
 
@@ -175,13 +196,14 @@ type Result struct {
 // Callers must Close the server to stop it.
 func New(eng *engine.Engine, specs []engine.SynopsisSpec, cfg Config) (*Server, error) {
 	s := &Server{
-		eng:    eng,
-		cfg:    cfg.withDefaults(),
-		specs:  append([]engine.SynopsisSpec(nil), specs...),
-		shards: make(map[string][]build.Estimator),
-		dirty:  make(chan struct{}, 1),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		eng:       eng,
+		cfg:       cfg.withDefaults(),
+		specs:     append([]engine.SynopsisSpec(nil), specs...),
+		shards:    make(map[string][]build.Estimator),
+		ingStates: make(map[string]*ingest.State),
+		dirty:     make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	cacheEntries := s.cfg.CacheEntries
 	if cacheEntries < 0 {
@@ -265,7 +287,10 @@ func (s *Server) Delete(value int, occurrences int64) error {
 }
 
 // Load forwards a bulk load to the engine (via the write-ahead log when
-// durable) and schedules a debounced rebuild.
+// durable) and schedules a debounced rebuild. The mutation window is
+// marked with the precise span of the loaded mass — not the whole
+// domain — so a load confined to a value window keeps segmented
+// rebuilds and incremental maintenance partial.
 func (s *Server) Load(counts []int64) error {
 	var err error
 	if s.cfg.WAL != nil {
@@ -276,8 +301,33 @@ func (s *Server) Load(counts []int64) error {
 	if err != nil {
 		return err
 	}
-	s.MarkDirty()
+	lo, hi := loadSpan(counts)
+	switch {
+	case lo < 0:
+		// An all-zero load changes no counts; signal anyway so the served
+		// version converges with the engine's bump.
+	case lo == 0 && hi == len(counts)-1:
+		s.markAll()
+	default:
+		s.markRange(lo, hi)
+	}
+	s.signalDirty()
 	return nil
+}
+
+// loadSpan returns the inclusive span of non-zero entries, or (-1,-1)
+// when there are none.
+func loadSpan(counts []int64) (int, int) {
+	lo, hi := -1, -1
+	for v, c := range counts {
+		if c != 0 {
+			if lo < 0 {
+				lo = v
+			}
+			hi = v
+		}
+	}
+	return lo, hi
 }
 
 // MarkDirty tells the debouncer the engine data changed. Callers that
@@ -342,6 +392,9 @@ func (s *Server) DropSynopsis(name string) bool {
 		s.shardMu.Lock()
 		delete(s.shards, name)
 		s.shardMu.Unlock()
+		s.ingMu.Lock()
+		delete(s.ingStates, name)
+		s.ingMu.Unlock()
 		if s.cfg.WAL != nil {
 			// Purge the durable inbox too so recovery cannot resurrect
 			// shard merges for the dropped synopsis.
@@ -405,6 +458,41 @@ func (s *Server) MergeSynopsis(name string, est build.Estimator) error {
 	return s.Rebuild()
 }
 
+// ingestState returns — creating on first use — the maintenance state
+// of a synopsis. Creation only happens on Rebuild's maintained path
+// (serialized by rebuildMu), so concurrent readers almost always stay
+// on the RLock.
+func (s *Server) ingestState(name string) *ingest.State {
+	s.ingMu.RLock()
+	st := s.ingStates[name]
+	s.ingMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	s.ingMu.Lock()
+	if st = s.ingStates[name]; st == nil {
+		st = ingest.NewState(s.cfg.Ingest)
+		s.ingStates[name] = st
+	}
+	s.ingMu.Unlock()
+	return st
+}
+
+// observeQuery feeds an answered range into a maintained synopsis's
+// drift trigger (sampled; no-op unless incremental ingest is on and the
+// synopsis has been maintained at least once).
+func (s *Server) observeQuery(name string, a, b int) {
+	if !s.cfg.Ingest.Enabled() {
+		return
+	}
+	s.ingMu.RLock()
+	st := s.ingStates[name]
+	s.ingMu.RUnlock()
+	if st != nil {
+		st.Observe(a, b)
+	}
+}
+
 // Query answers one request from the current snapshot.
 func (s *Server) Query(q Query) (float64, error) {
 	res, _ := s.QueryOne(q)
@@ -439,6 +527,7 @@ func (s *Server) answer(snap *Snapshot, q Query) Result {
 		// A pinned synopsis answers its own metric, whatever the query
 		// says (matching the pre-planner Approx semantics).
 		metric = syn.Metric
+		s.observeQuery(q.Synopsis, q.A, q.B)
 	}
 	maxErr := math.NaN() // planner convention: NaN = no budget
 	if q.MaxErr != nil {
@@ -558,6 +647,7 @@ func (s *Server) Rebuild() error {
 	errs := make([]error, len(specs))
 	stats := make([]method.RebuildStats, len(specs))
 	reused := make([]bool, len(specs))
+	outcomes := make([]*ingest.Outcome, len(specs))
 	tasks := []func(){
 		func() { snap.count = prefix.NewTable(counts) },
 		func() { snap.sum = prefix.NewTable(sums) },
@@ -578,10 +668,32 @@ func (s *Server) Rebuild() error {
 			continue
 		}
 		partial := sameSpec && win.any && !win.all && build.CanRebuild(sp.Options)
+		var st *ingest.State
+		if s.cfg.Ingest.Enabled() && sameSpec && win.any && !win.all && ingest.CanMaintain(prevSyn.Est) {
+			st = s.ingestState(sp.Name)
+		}
 		tasks = append(tasks, func() {
 			series := counts
 			if sp.Metric == engine.Sum {
 				series = sums
+			}
+			if st != nil {
+				// Incremental maintenance: absorb the confined window
+				// through the ingest ladder. Only an escalation (drift
+				// persisting past a boundary repair) falls through to the
+				// rebuild paths below, restarting maintenance from the
+				// rebuilt synopsis.
+				var out ingest.Outcome
+				ests[i], out, errs[i] = ingest.Maintain(series, prevSyn.Est, win.lo, win.hi, st)
+				outcomes[i] = &out
+				if errs[i] != nil || out.Action != ingest.Escalate {
+					return
+				}
+				defer func() {
+					if errs[i] == nil {
+						st.Reset()
+					}
+				}()
 			}
 			if partial {
 				ests[i], stats[i], errs[i] = build.Rebuild(series, sp.Options, prevSyn.Est, win.lo, win.hi)
@@ -604,6 +716,23 @@ func (s *Server) Rebuild() error {
 	if segR+segU > 0 {
 		s.segRebuilt.Add(segR)
 		s.segReused.Add(segU)
+	}
+	for _, out := range outcomes {
+		if out == nil {
+			continue
+		}
+		switch out.Action {
+		case ingest.Escalate:
+			s.ingEscalated.Add(1)
+			continue // the fall-through rebuild happened; nothing avoided
+		case ingest.Reopt:
+			s.ingReopt.Add(1)
+		case ingest.Repair:
+			s.ingRepaired.Add(1)
+		default:
+			s.ingAbsorbed.Add(1)
+		}
+		s.ingAvoided.Add(1)
 	}
 	// Fold accepted shard estimators into the fresh local synopses, in
 	// arrival order, so shard contributions survive the snapshot swap.

@@ -58,7 +58,7 @@ type baselineFile struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "ConstructScaling|ServeHTTP|PlannerPaths|SegmentedRebuild|RouterFanout", "benchmark regex to gate")
+		bench     = flag.String("bench", "ConstructScaling|ServeHTTP|PlannerPaths|SegmentedRebuild|RouterFanout|IngestSustained", "benchmark regex to gate")
 		pkg       = flag.String("pkg", ".", "package pattern holding the benchmarks")
 		count     = flag.Int("count", 6, "benchmark repetitions (median taken per benchmark)")
 		benchtime = flag.String("benchtime", "300ms", "per-run benchtime")
